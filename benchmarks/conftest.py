@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one of the paper's experiments end to end (boot the
+systems, execute the workload, collect the cycle-ledger results), attaches
+the reproduced figures as ``extra_info``, and prints the paper-style table
+so ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+"""
+
+import pytest
+
+
+def attach(benchmark, **info):
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered report table even under captured output."""
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+    return _emit

@@ -1,0 +1,21 @@
+"""Ablation: syscall batching (the paper's section 10 optimization)."""
+
+from conftest import attach
+
+from repro.bench.ablations import BATCH_SIZE, run_batching_ablation
+
+
+def test_syscall_batching_ablation(benchmark, emit):
+    result = benchmark.pedantic(run_batching_ablation, rounds=1,
+                                iterations=1)
+    emit("Ablation: syscall batching (section 10)\n"
+         + "-" * 60 + "\n"
+         f"per-call exits : {result['plain_cycles']:>12,} cycles, "
+         f"{result['plain_exits']:,} switches\n"
+         f"batched (x{BATCH_SIZE})   : {result['batched_cycles']:>12,} "
+         f"cycles, {result['batched_exits']:,} switches\n"
+         f"speedup        : {result['speedup']:.2f}x")
+    attach(benchmark, **{k: (round(v, 2) if isinstance(v, float) else v)
+                         for k, v in result.items()})
+    assert result["batched_exits"] < result["plain_exits"] / 4
+    assert result["speedup"] > 1.1

@@ -1,0 +1,21 @@
+"""Ablation: boot-sweep cost vs guest memory size (linearity)."""
+
+from conftest import attach
+
+from repro.bench.ablations import run_boot_scaling
+from repro.hw.cycles import cycles_to_seconds
+
+
+def test_boot_cost_scales_linearly_with_memory(benchmark, emit):
+    rows = benchmark.pedantic(run_boot_scaling, rounds=1, iterations=1)
+    lines = ["Ablation: Veil boot cost vs guest memory", "-" * 60]
+    for size_mb, total, rmp in rows:
+        lines.append(f"{size_mb:>5} MiB: {cycles_to_seconds(total):.3f} s"
+                     f"  (rmpadjust {100 * rmp / total:.0f}%)")
+    emit("\n".join(lines))
+    attach(benchmark, **{f"boot_s_{size}mb":
+                         round(cycles_to_seconds(total), 3)
+                         for size, total, _ in rows})
+    for (s1, t1, _r1), (s2, t2, _r2) in zip(rows, rows[1:]):
+        ratio = t2 / t1
+        assert 1.7 <= ratio <= 2.3, (s1, s2, ratio)

@@ -1,0 +1,21 @@
+"""Ablation: WBINVD-on-exit side-channel mitigation cost (section 10)."""
+
+from conftest import attach
+
+from repro.bench.ablations import run_flush_ablation
+
+
+def test_flush_on_exit_ablation(benchmark, emit):
+    result = benchmark.pedantic(run_flush_ablation, rounds=1,
+                                iterations=1)
+    emit("Ablation: WBINVD-on-exit side-channel mitigation\n" + "-" * 60
+         + f"\nwithout flush : {result['plain_cycles']:>12,} cycles "
+         f"(residue observable: {result['plain_leaks_residue']})"
+         f"\nwith flush    : {result['flush_cycles']:>12,} cycles "
+         f"(+{result['overhead_pct']:.1f}%, residue observable: "
+         f"{result['flush_leaks_residue']})")
+    attach(benchmark, **{k: (round(v, 2) if isinstance(v, float) else v)
+                         for k, v in result.items()})
+    assert result["plain_leaks_residue"] is True
+    assert result["flush_leaks_residue"] is False
+    assert result["overhead_pct"] > 5.0

@@ -1,0 +1,20 @@
+"""Ablation: domain-switch round-trip cost vs IDCB payload size."""
+
+from conftest import attach
+
+from repro.bench.ablations import PAYLOAD_SIZES, run_payload_sweep
+
+
+def test_switch_cost_fixed_plus_linear_copy(benchmark, emit):
+    rows = benchmark.pedantic(run_payload_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: monitor round trip vs IDCB payload", "-" * 60]
+    for size, cycles in rows:
+        lines.append(f"payload {size:>6} B: {cycles:>8,} cycles/call")
+    emit("\n".join(lines))
+    attach(benchmark, **{f"cycles_{size}B": cycles
+                         for size, cycles in rows})
+    base = rows[0][1]
+    assert base >= 2 * 7135
+    grow = rows[-1][1] - base
+    per_byte = grow / (PAYLOAD_SIZES[-1] - PAYLOAD_SIZES[0])
+    assert 0.3 <= per_byte <= 3.0

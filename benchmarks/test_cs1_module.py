@@ -1,0 +1,18 @@
+"""CS1: secure module load/unload (paper: +5.7% / +4.2%, ~55k cycles)."""
+
+from conftest import attach
+
+from repro.bench import render_cs1, run_cs1
+
+
+def test_cs1_module_load_unload(benchmark, emit):
+    result = benchmark.pedantic(run_cs1, kwargs={"repetitions": 100},
+                                rounds=1, iterations=1)
+    emit(render_cs1(result))
+    attach(benchmark,
+           load_overhead_pct=round(result.load_overhead_pct, 1),
+           unload_overhead_pct=round(result.unload_overhead_pct, 1),
+           load_extra_cycles=result.load_extra_cycles,
+           unload_extra_cycles=result.unload_extra_cycles)
+    assert 4.0 <= result.load_overhead_pct <= 8.0
+    assert 3.0 <= result.unload_overhead_pct <= 6.0

@@ -1,0 +1,15 @@
+"""Fig. 4 / Table 3: enclave system-call redirection microbenchmarks."""
+
+from conftest import attach
+
+from repro.bench import render_fig4, run_fig4
+
+
+def test_fig4_syscall_redirection(benchmark, emit):
+    rows = benchmark.pedantic(run_fig4, kwargs={"iterations": 30},
+                              rounds=1, iterations=1)
+    emit(render_fig4(rows))
+    attach(benchmark, **{f"{row.name}_slowdown_x": round(row.slowdown, 2)
+                         for row in rows})
+    slowdowns = [row.slowdown for row in rows]
+    assert 3.0 <= min(slowdowns) and max(slowdowns) <= 8.5

@@ -1,0 +1,18 @@
+"""Fig. 5 / Table 4: shielding real-world programs with VeilS-ENC."""
+
+from conftest import attach
+
+from repro.bench import render_fig5, run_fig5
+
+
+def test_fig5_enclave_applications(benchmark, emit):
+    rows = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    emit(render_fig5(rows))
+    attach(benchmark,
+           **{f"{row.name}_overhead_pct": round(row.overhead_pct, 1)
+              for row in rows},
+           **{f"{row.name}_exit_rate": round(row.exit_rate_per_sec)
+              for row in rows})
+    by_name = {row.name: row.overhead_pct for row in rows}
+    assert by_name["GZip"] < by_name["SQLite"]
+    assert max(by_name.values()) < 75.0

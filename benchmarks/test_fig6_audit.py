@@ -1,0 +1,17 @@
+"""Fig. 6 / Table 5: secure system-call auditing with VeilS-LOG."""
+
+from conftest import attach
+
+from repro.bench import render_fig6, run_fig6
+
+
+def test_fig6_audit_overhead(benchmark, emit):
+    rows = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit(render_fig6(rows))
+    attach(benchmark,
+           **{f"{row.name}_kaudit_pct": round(row.kaudit_overhead_pct, 1)
+              for row in rows},
+           **{f"{row.name}_veils_pct": round(row.veils_overhead_pct, 1)
+              for row in rows})
+    for row in rows:
+        assert row.veils_overhead_pct > row.kaudit_overhead_pct

@@ -1,0 +1,15 @@
+"""Section 9.1: background impact with no protected service in use."""
+
+from conftest import attach
+
+from repro.bench import render_background, run_micro_background
+
+
+def test_background_system_impact(benchmark, emit):
+    rows = benchmark.pedantic(run_micro_background, rounds=1,
+                              iterations=1)
+    emit(render_background(rows))
+    attach(benchmark, **{row.name: f"{row.overhead_pct:+.2f}%"
+                         for row in rows})
+    for row in rows:
+        assert abs(row.overhead_pct) < 2.0      # paper: <2%

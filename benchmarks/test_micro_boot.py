@@ -1,0 +1,20 @@
+"""Section 9.1: Veil's CVM boot-time cost (paper: ~2 s, ~13%)."""
+
+from conftest import attach
+
+from repro.bench import render_boot, run_micro_boot
+
+
+def test_boot_time_2gb_guest(benchmark, emit):
+    results = benchmark.pedantic(
+        run_micro_boot, kwargs={"memory_bytes": 2 * 1024 ** 3, "runs": 1},
+        rounds=1, iterations=1)
+    emit(render_boot(results))
+    result = results[0]
+    attach(benchmark,
+           veil_boot_seconds=round(result.veil_boot_seconds, 2),
+           pct_of_native_boot=round(result.pct_of_native_boot, 1),
+           rmpadjust_share=round(result.rmpadjust_fraction, 2))
+    assert 1.5 <= result.veil_boot_seconds <= 2.5      # paper: ~2 s
+    assert result.rmpadjust_fraction > 0.7             # paper: >70%
+    assert 10.0 <= result.pct_of_native_boot <= 16.0   # paper: ~13%

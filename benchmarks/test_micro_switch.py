@@ -1,0 +1,17 @@
+"""Section 9.1: hypervisor-relayed domain-switch cost (paper: 7135 cyc)."""
+
+from conftest import attach
+
+from repro.bench import render_switch, run_micro_switch
+
+
+def test_domain_switch_cost(benchmark, emit):
+    result = benchmark.pedantic(run_micro_switch,
+                                kwargs={"round_trips": 10_000},
+                                rounds=1, iterations=1)
+    emit(render_switch(result))
+    attach(benchmark,
+           cycles_per_switch=round(result.cycles_per_switch),
+           cycles_per_round_trip=round(result.cycles_per_round_trip),
+           vs_plain_vmcall=round(result.vs_plain_vmcall, 2))
+    assert abs(result.cycles_per_switch - 7135) < 75

@@ -1,0 +1,23 @@
+"""Tables 1 & 2 + section 8.3: the full attack suite as one experiment."""
+
+from conftest import attach
+
+from repro.attacks import (run_log_attacks, run_table1, run_table2,
+                           run_validation)
+from repro.bench import render_attack_results
+
+
+def run_all_attacks():
+    return (run_table1() + run_table2() + run_log_attacks() +
+            run_validation())
+
+
+def test_security_validation_suite(benchmark, emit):
+    results = benchmark.pedantic(run_all_attacks, rounds=1, iterations=1)
+    emit(render_attack_results(results))
+    defended = [r for r in results if r.defended]
+    breaches = [r for r in results if not r.defended]
+    attach(benchmark, defended=len(defended), total=len(results),
+           expected_breaches=len(breaches))
+    # The only expected breach is the unprotected Kaudit baseline.
+    assert all("baseline" in r.defense for r in breaches)

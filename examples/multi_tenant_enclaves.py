@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multiple enclaves in one CVM: isolation, sharing, threads, batching.
+
+Unlike vSGX (one CVM per computation), VeilS-ENC multiplexes potentially
+unlimited enclaves inside a single CVM (paper section 11).  This example
+runs three tenants side by side and demonstrates:
+
+1. isolation by construction — disjoint physical pages + per-enclave
+   protected page tables, verified at the same virtual address;
+2. consensual sharing between two mutually-trusting enclaves
+   (the section 10 Chancel-style model, without SFI);
+3. a second enclave thread pinned to another VCPU (section 7 extension);
+4. syscall batching amortizing exit costs (section 10 optimization).
+"""
+
+from repro import VeilConfig, boot_veil_system
+from repro.enclave import EnclaveHost, build_test_binary
+from repro.errors import SecurityViolation
+from repro.kernel.fs import O_APPEND, O_CREAT, O_RDWR
+
+
+def main() -> None:
+    system = boot_veil_system(VeilConfig(memory_bytes=64 * 1024 * 1024,
+                                         num_cores=2))
+    tenants = {}
+    for name in ("alice", "bob", "mallory"):
+        host = EnclaveHost(system, build_test_binary(name, heap_pages=8))
+        host.launch()
+        tenants[name] = host
+    print(f"3 enclaves live in one CVM: "
+          f"{[h.enclave_id for h in tenants.values()]}")
+
+    print("\n-- isolation: same virtual address, disjoint frames --")
+    alice, bob, mallory = (tenants[n] for n in ("alice", "bob",
+                                                "mallory"))
+    data_vaddr = system.integration.enclaves[
+        alice.enclave_id].layout["data"][0]
+    alice.run(lambda libc: libc.poke(data_vaddr, b"alice-secret"))
+    bob_view = bob.run(lambda libc: libc.peek(data_vaddr, 12))
+    print(f"alice wrote 'alice-secret' at {data_vaddr:#x}; "
+          f"bob reads {bob_view!r} there (his own page)")
+
+    print("\n-- consensual sharing: alice <-> bob --")
+    alice.run(lambda libc: libc.grant_share(bob.enclave_id,
+                                            data_vaddr, 1))
+    window = 0x2f00_0000
+    bob.run(lambda libc: libc.accept_share(alice.enclave_id, data_vaddr,
+                                           window, 1))
+    shared = bob.run(lambda libc: libc.peek(window, 12))
+    print(f"after grant+accept, bob reads {shared!r} through his window")
+    try:
+        mallory.run(lambda libc: libc.accept_share(
+            alice.enclave_id, data_vaddr, window, 1))
+        print("BREACH: mallory mapped alice's memory!")
+    except SecurityViolation as denied:
+        print(f"mallory's accept -> denied ({denied})")
+
+    print("\n-- a second thread for alice on VCPU 1 --")
+    thread = alice.spawn_thread(1)
+    seen = alice.run_on(thread, lambda libc: (libc.rt.core.cpu_index,
+                                              libc.peek(data_vaddr, 12)))
+    print(f"thread on core {seen[0]} reads the shared enclave memory: "
+          f"{seen[1]!r}")
+
+    print("\n-- syscall batching --")
+
+    def log_batched(libc):
+        fd = libc.open("/tmp/alice.log", O_CREAT | O_RDWR | O_APPEND)
+        before = libc.rt.enclave_exits
+        with libc.batch() as batch:
+            for index in range(32):
+                batch.write(fd, f"event {index}\n".encode())
+        switches = libc.rt.enclave_exits - before
+        libc.close(fd)
+        return switches
+
+    switches = alice.run(log_batched)
+    print(f"32 writes flushed with {switches} world switches "
+          "(vs 64 unbatched)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints the section 9.1 microbenchmarks, CS1-CS3 (Figs. 4-6), the security
+tables (1 & 2 + section 8.3), and the LTP conformance summary.  Takes a
+few seconds end to end.
+"""
+
+import time
+
+from repro.attacks import (run_log_attacks, run_table1, run_table2,
+                           run_validation)
+from repro.bench import (render_attack_results, render_background,
+                         render_boot, render_cs1, render_fig4,
+                         render_fig5, render_fig6, render_switch,
+                         run_cs1, run_fig4, run_fig5, run_fig6,
+                         run_micro_background, run_micro_boot,
+                         run_micro_switch)
+from repro.core import VeilConfig, boot_veil_system
+from repro.workloads.ltp import run_ltp
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    started = time.time()
+
+    section("Section 9.1: microbenchmarks")
+    print(render_boot(run_micro_boot(runs=1)))
+    print()
+    print(render_switch(run_micro_switch(5000)))
+    print()
+    print(render_background(run_micro_background()))
+
+    section("CS1: secure module load/unload")
+    print(render_cs1(run_cs1(repetitions=50)))
+
+    section("CS2: Fig. 4 -- enclave syscall redirection")
+    print(render_fig4(run_fig4(iterations=30)))
+
+    section("CS2: Fig. 5 -- shielded real-world programs")
+    print(render_fig5(run_fig5()))
+
+    section("CS3: Fig. 6 -- secure system-call auditing")
+    print(render_fig6(run_fig6()))
+
+    section("Tables 1 & 2 + section 8.3: security validation")
+    print(render_attack_results(run_table1() + run_table2() +
+                                run_log_attacks() + run_validation()))
+
+    section("Section 7: LTP-style SDK conformance")
+    system = boot_veil_system(VeilConfig(memory_bytes=32 * 1024 * 1024,
+                                         num_cores=2,
+                                         log_storage_pages=64))
+    print(run_ltp(system).summary())
+
+    section("Ablations (design-choice experiments)")
+    from repro.bench.ablations import (render_ablations,
+                                       run_batching_ablation,
+                                       run_boot_scaling,
+                                       run_flush_ablation,
+                                       run_payload_sweep,
+                                       run_vsgx_comparison)
+    print(render_ablations(run_batching_ablation(), run_flush_ablation(),
+                           run_vsgx_comparison(),
+                           run_boot_scaling(sizes_mb=(256, 512)),
+                           run_payload_sweep()))
+
+    print(f"\nfull evaluation regenerated in "
+          f"{time.time() - started:.1f} s (host wall time)")
+
+
+if __name__ == "__main__":
+    main()

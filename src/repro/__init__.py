@@ -1,0 +1,39 @@
+"""Veil (ASPLOS 2023) reproduction: protected services for confidential VMs.
+
+A faithful transaction-level model of AMD SEV-SNP (VMPLs, the RMP, VMSAs,
+GHCBs) plus the complete Veil stack built on it: the VeilMon security
+monitor, the KCI / ENC / LOG protected services, an enclave SDK, a
+commodity-kernel substrate, the section-8 attack suite, and benchmark
+harnesses that regenerate every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import boot_veil_system, VeilConfig
+    system = boot_veil_system(VeilConfig())
+    system.integration.activate_kci(system.boot_core)
+"""
+
+from .core.boot import (NativeSystem, VeilConfig, VeilSystem,
+                        boot_native_system, boot_veil_system,
+                        module_signing_key)
+from .enclave import (EnclaveBinary, EnclaveHost, EnclaveLibc,
+                      EnclaveRuntime, build_test_binary)
+from .errors import (AttestationError, CvmHalted, EnclaveError,
+                     GeneralProtectionFault, HardwareFault,
+                     InvalidInstruction, KernelError, NestedPageFault,
+                     ReproError, SdkError, SecurityViolation)
+from .hw import CLOCK_HZ, CostModel, SevSnpMachine, cycles_to_seconds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NativeSystem", "VeilConfig", "VeilSystem", "boot_native_system",
+    "boot_veil_system", "module_signing_key", "EnclaveBinary",
+    "EnclaveHost", "EnclaveLibc", "EnclaveRuntime", "build_test_binary",
+    "AttestationError", "CvmHalted", "EnclaveError",
+    "GeneralProtectionFault", "HardwareFault", "InvalidInstruction",
+    "KernelError", "NestedPageFault", "ReproError", "SdkError",
+    "SecurityViolation", "CLOCK_HZ", "CostModel", "SevSnpMachine",
+    "cycles_to_seconds", "__version__",
+]

@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro <command>``."""
+
+from .cli import main
+
+main()

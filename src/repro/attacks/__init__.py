@@ -1,0 +1,18 @@
+"""Executable attack suites for the paper's section-8 security analysis."""
+
+from .base import ATTACK_CONFIG, AttackResult, fresh_system, run_suite
+from .enclave_attacks import TABLE2_ATTACKS, run_table2
+from .framework_attacks import TABLE1_ATTACKS, run_table1
+from .log_attacks import (attack_tamper_kaudit_baseline,
+                          attack_tamper_veils_log, run_log_attacks)
+from .validation import (run_validation,
+                         validation_attack_module_text,
+                         validation_attack_monitor_page_tables)
+
+__all__ = [
+    "ATTACK_CONFIG", "AttackResult", "fresh_system", "run_suite",
+    "TABLE2_ATTACKS", "run_table2", "TABLE1_ATTACKS", "run_table1",
+    "attack_tamper_kaudit_baseline", "attack_tamper_veils_log",
+    "run_log_attacks", "run_validation", "validation_attack_module_text",
+    "validation_attack_monitor_page_tables",
+]

@@ -1,0 +1,50 @@
+"""Attack-experiment plumbing shared by the section-8 suites.
+
+Each attack is a function taking a freshly booted :class:`VeilSystem`
+(attacks that halt the CVM are terminal, so experiments never share
+state) and returning an :class:`AttackResult` stating whether the
+documented defence held and what it was.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from ..core.boot import VeilConfig, VeilSystem, boot_veil_system
+
+if typing.TYPE_CHECKING:
+    pass
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one attack experiment."""
+
+    name: str
+    defended: bool
+    defense: str          # the Table 1/2 "Veil defence" cell
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "DEFENDED" if self.defended else "BREACHED"
+        return f"[{status}] {self.name} -- {self.defense} ({self.detail})"
+
+
+#: Small-machine config used by attack experiments (protection semantics
+#: do not depend on memory size).
+ATTACK_CONFIG = VeilConfig(memory_bytes=32 * 1024 * 1024, num_cores=2,
+                           log_storage_pages=64)
+
+
+def fresh_system(config: VeilConfig | None = None) -> VeilSystem:
+    """Boot a fresh Veil CVM for one attack experiment."""
+    return boot_veil_system(config or ATTACK_CONFIG)
+
+
+def run_suite(attacks) -> list[AttackResult]:
+    """Run each attack against its own freshly booted CVM."""
+    results = []
+    for attack in attacks:
+        results.append(attack(fresh_system()))
+    return results

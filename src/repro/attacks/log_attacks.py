@@ -1,0 +1,58 @@
+"""Audit-log tampering attacks (section 6.3 / 8.2).
+
+Shows the baseline failure (in-memory Kaudit records are trivially
+rewritten after a kernel compromise) and VeilS-LOG's defence (the storage
+is VMPL-protected; tampering halts the CVM)."""
+
+from __future__ import annotations
+
+from ..errors import CvmHalted
+from ..kernel.audit import InMemoryAuditSink
+from ..kernel.fs import O_CREAT, O_RDWR
+from .base import AttackResult, fresh_system
+
+
+def _generate_some_logs(system) -> None:
+    core = system.boot_core
+    proc = system.kernel.create_process("audited")
+    fd = system.kernel.syscall(core, proc, "open", "/tmp/audit-me",
+                               O_CREAT | O_RDWR)
+    system.kernel.syscall(core, proc, "close", fd)
+
+
+def attack_tamper_kaudit_baseline(system=None) -> AttackResult:
+    """Baseline: rewrite in-memory Kaudit records post-compromise.
+
+    This attack *succeeds* -- that is the motivation for VeilS-LOG."""
+    system = system or fresh_system()
+    system.kernel.audit.set_sink(InMemoryAuditSink())
+    system.kernel.enable_default_auditing()
+    _generate_some_logs(system)
+    attacker = system.kernel.compromise(system.boot_core)
+    outcome = attacker.tamper_audit_storage()
+    tampered = system.kernel.audit.sink.records[0] == b'{"forged": true}'
+    return AttackResult("tamper in-memory Kaudit logs",
+                        False, "none (baseline)",
+                        f"{outcome}: record rewritten={tampered}")
+
+
+def attack_tamper_veils_log(system=None) -> AttackResult:
+    """VeilS-LOG: the same tampering attempt halts the CVM."""
+    system = system or fresh_system()
+    system.integration.enable_protected_logging()
+    _generate_some_logs(system)
+    assert system.log.entry_count > 0
+    attacker = system.kernel.compromise(system.boot_core)
+    try:
+        attacker.tamper_audit_storage()
+    except CvmHalted as halt:
+        return AttackResult("tamper VeilS-LOG storage", True,
+                            "protected in DomSER", str(halt))
+    return AttackResult("tamper VeilS-LOG storage", False,
+                        "protected in DomSER", "records rewritten")
+
+
+def run_log_attacks() -> list[AttackResult]:
+    """Run both log-tampering experiments on fresh CVMs."""
+    return [attack_tamper_kaudit_baseline(None),
+            attack_tamper_veils_log(None)]

@@ -1,0 +1,60 @@
+"""Section 8.3: the two experimental validation attacks.
+
+1. Overwrite VeilMon's page-table entries after mapping them into the
+   OS address space -> the CVM halts with continuous #NPFs.
+2. Overwrite a KCI-installed module's text after flipping the OS
+   page-table write bit -> the CVM halts with continuous #NPFs.
+"""
+
+from __future__ import annotations
+
+from ..core.boot import module_signing_key
+from ..errors import CvmHalted
+from ..kernel.modules import build_module
+from .base import AttackResult, fresh_system
+
+
+def validation_attack_monitor_page_tables(system=None) -> AttackResult:
+    """Attack 1: write VeilMon's page tables through an OS mapping."""
+    system = system or fresh_system()
+    attacker = system.kernel.compromise(system.boot_core)
+    assert system.veilmon.mon_table is not None
+    root = system.veilmon.mon_table.root_ppn
+    vaddr = attacker.map_foreign_page(root, writable=True)
+    try:
+        attacker.write_virt(vaddr, b"\xde\xad\xbe\xef")
+    except CvmHalted as halt:
+        return AttackResult("overwrite VeilMon page tables (8.3 #1)",
+                            True, "CVM halts with #NPF", str(halt))
+    return AttackResult("overwrite VeilMon page tables (8.3 #1)", False,
+                        "CVM halts with #NPF", "write succeeded")
+
+
+def validation_attack_module_text(system=None) -> AttackResult:
+    """Attack 2: overwrite KCI-protected module text.
+
+    The attacker first disables the page-table W^X bits (possible: the
+    kernel owns its tables) and then writes -- the RMP still vetoes it.
+    """
+    system = system or fresh_system()
+    core = system.boot_core
+    system.integration.activate_kci(core)
+    image = build_module("victim_mod", text_size=4096,
+                         signing_key=module_signing_key())
+    module = system.integration.load_module(core, image)
+    attacker = system.kernel.compromise(core)
+    # Flip the write bit in the OS page tables (succeeds).
+    attacker.disable_pt_write_protection(module.vaddr)
+    try:
+        attacker.write_virt(module.vaddr, b"\xcc" * 16)
+    except CvmHalted as halt:
+        return AttackResult("overwrite module text (8.3 #2)", True,
+                            "CVM halts with #NPF", str(halt))
+    return AttackResult("overwrite module text (8.3 #2)", False,
+                        "CVM halts with #NPF", "text overwritten")
+
+
+def run_validation() -> list[AttackResult]:
+    """Run both section 8.3 validation attacks."""
+    return [validation_attack_monitor_page_tables(None),
+            validation_attack_module_text(None)]

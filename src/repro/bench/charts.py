@@ -1,0 +1,76 @@
+"""ASCII bar charts: draw the paper's figures in a terminal.
+
+No plotting library is assumed; these renderers produce the same visual
+story as the paper's Fig. 4-6 -- including Fig. 5's stacked
+exit/redirect split -- with plain characters.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .harness import Fig4Row, Fig5Row, Fig6Row
+
+FULL = "#"
+ALT = "="
+WIDTH = 46
+
+
+def _bar(value: float, maximum: float, width: int = WIDTH,
+         char: str = FULL) -> str:
+    if maximum <= 0:
+        return ""
+    filled = round(width * value / maximum)
+    return char * max(0, filled)
+
+
+def _stacked_bar(first: float, second: float, maximum: float,
+                 width: int = WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    first_cells = round(width * first / maximum)
+    second_cells = round(width * second / maximum)
+    return FULL * first_cells + ALT * second_cells
+
+
+def chart_fig4(rows: typing.Sequence[Fig4Row]) -> str:
+    """Fig. 4 as horizontal bars of x-slowdown."""
+    maximum = max(row.slowdown for row in rows)
+    lines = ["Fig. 4: enclave syscall slowdown (x over native)", ""]
+    for row in rows:
+        lines.append(f"{row.name:>8} | "
+                     f"{_bar(row.slowdown, maximum)} {row.slowdown:.1f}x")
+    lines.append(f"{'':>8} +{'-' * (WIDTH + 2)}")
+    lines.append(f"{'':>8}  paper band: 3.3x - 7.1x")
+    return "\n".join(lines)
+
+
+def chart_fig5(rows: typing.Sequence[Fig5Row]) -> str:
+    """Fig. 5 as stacked bars: '#' = enclave-exit, '=' = redirect."""
+    maximum = max(row.overhead_pct for row in rows)
+    lines = ["Fig. 5: enclave overhead "
+             f"({FULL} enclave-exit, {ALT} syscall-redirect)", ""]
+    for row in rows:
+        bar = _stacked_bar(row.exit_pct, row.redirect_pct, maximum)
+        lines.append(f"{row.name:>9} | {bar} {row.overhead_pct:.1f}%")
+    lines.append(f"{'':>9} +{'-' * (WIDTH + 2)}")
+    lines.append(f"{'':>9}  paper band: 4.9% - 63.9%")
+    return "\n".join(lines)
+
+
+def chart_fig6(rows: typing.Sequence[Fig6Row]) -> str:
+    """Fig. 6 as grouped bars: Kaudit vs VeilS-LOG per program."""
+    maximum = max(row.veils_overhead_pct for row in rows)
+    lines = [f"Fig. 6: audit overhead ({ALT} Kaudit, {FULL} VeilS-LOG)",
+             ""]
+    for row in rows:
+        kaudit = _bar(row.kaudit_overhead_pct, maximum, char=ALT)
+        veils = _bar(row.veils_overhead_pct, maximum, char=FULL)
+        lines.append(f"{row.name:>10} | {kaudit} "
+                     f"{row.kaudit_overhead_pct:.1f}%")
+        lines.append(f"{'':>10} | {veils} "
+                     f"{row.veils_overhead_pct:.1f}%")
+    lines.append(f"{'':>10} +{'-' * (WIDTH + 2)}")
+    lines.append(f"{'':>10}  paper: Kaudit 0.3-8.7%, "
+                 "VeilS-LOG 1.4-18.7%")
+    return "\n".join(lines)

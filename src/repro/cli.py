@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+=============  ========================================================
+``boot``       boot a Veil CVM and print its configuration + boot cost
+``micro``      section 9.1 microbenchmarks (boot / switch / background)
+``cs1``        module load/unload overhead under VeilS-KCI
+``fig4``       enclave syscall redirection microbenchmarks
+``fig5``       shielded real-world program overhead
+``fig6``       secure auditing overhead
+``attacks``    Tables 1 & 2 + section 8.3 attack suites
+``ltp``        LTP-style SDK conformance summary
+``all``        everything above (the full evaluation)
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .attacks import (run_log_attacks, run_table1, run_table2,
+                      run_validation)
+from .bench import (render_attack_results, render_background,
+                    render_boot, render_cs1, render_fig4, render_fig5,
+                    render_fig6, render_switch, run_cs1, run_fig4,
+                    run_fig5, run_fig6, run_micro_background,
+                    run_micro_boot, run_micro_switch)
+from .core import VeilConfig, boot_veil_system
+from .hw.cycles import cycles_to_seconds
+
+
+def _cmd_boot(args) -> None:
+    config = VeilConfig(memory_bytes=args.memory_mb * 1024 * 1024,
+                        num_cores=args.cores)
+    system = boot_veil_system(config)
+    print(system.machine.describe())
+    print(f"services: {', '.join(sorted(system.veilmon.services))}")
+    print(f"protected pages: {len(system.veilmon.protected_ppns)}")
+    delta = system.veil_boot_delta
+    print(f"Veil boot work: {delta.total:,} cycles "
+          f"({cycles_to_seconds(delta.total) * 1000:.1f} simulated ms), "
+          f"{100 * delta.category('rmpadjust') / delta.total:.0f}% in "
+          "RMPADJUST")
+    user = system.attest_and_connect()
+    print(f"attestation: OK (measurement "
+          f"{system.expected_measurement().hex()[:16]}...)")
+
+
+def _cmd_micro(args) -> None:
+    print(render_boot(run_micro_boot(
+        memory_bytes=args.memory_mb * 1024 * 1024, runs=1)))
+    print()
+    print(render_switch(run_micro_switch(args.switches)))
+    print()
+    print(render_background(run_micro_background()))
+
+
+def _cmd_cs1(args) -> None:
+    print(render_cs1(run_cs1(repetitions=args.reps)))
+
+
+def _cmd_fig4(args) -> None:
+    rows = run_fig4(iterations=args.iterations)
+    if getattr(args, "chart", False):
+        from .bench.charts import chart_fig4
+        print(chart_fig4(rows))
+    else:
+        print(render_fig4(rows))
+
+
+def _cmd_fig5(args) -> None:
+    rows = run_fig5()
+    if getattr(args, "chart", False):
+        from .bench.charts import chart_fig5
+        print(chart_fig5(rows))
+    else:
+        print(render_fig5(rows))
+
+
+def _cmd_fig6(args) -> None:
+    rows = run_fig6()
+    if getattr(args, "chart", False):
+        from .bench.charts import chart_fig6
+        print(chart_fig6(rows))
+    else:
+        print(render_fig6(rows))
+
+
+def _cmd_attacks(args) -> None:
+    results = (run_table1() + run_table2() + run_log_attacks() +
+               run_validation())
+    print(render_attack_results(results))
+    expected_breaches = [r for r in results
+                         if not r.defended and "baseline" in r.defense]
+    unexpected = [r for r in results
+                  if not r.defended and "baseline" not in r.defense]
+    if unexpected:
+        print("UNEXPECTED BREACHES:")
+        for result in unexpected:
+            print(f"  {result}")
+        sys.exit(1)
+
+
+def _cmd_ltp(args) -> None:
+    from .workloads.ltp import run_ltp
+    system = boot_veil_system(VeilConfig(
+        memory_bytes=32 * 1024 * 1024, num_cores=2,
+        log_storage_pages=64))
+    report = run_ltp(system)
+    print(report.summary())
+    if args.verbose:
+        for name in sorted(report.per_syscall):
+            good, bad = report.per_syscall[name]
+            print(f"  {name:<20} {good} passed / {bad} failed")
+
+
+def _cmd_ablations(args) -> None:
+    from .bench.ablations import (render_ablations,
+                                  run_batching_ablation,
+                                  run_boot_scaling, run_flush_ablation,
+                                  run_payload_sweep,
+                                  run_vsgx_comparison)
+    print(render_ablations(
+        run_batching_ablation(), run_flush_ablation(),
+        run_vsgx_comparison(),
+        run_boot_scaling(sizes_mb=(256, 512)),
+        run_payload_sweep()))
+
+
+def _cmd_export(args) -> None:
+    from .bench.export import export_all
+    written = export_all(args.out)
+    for name, path in sorted(written.items()):
+        print(f"{name:<18} -> {path}")
+
+
+def _cmd_all(args) -> None:
+    for fn in (_cmd_micro, _cmd_cs1, _cmd_fig4, _cmd_fig5, _cmd_fig6,
+               _cmd_attacks, _cmd_ltp):
+        fn(args)
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Veil (ASPLOS'23) reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", help="boot a Veil CVM")
+    boot.add_argument("--memory-mb", type=int, default=64)
+    boot.add_argument("--cores", type=int, default=2)
+    boot.set_defaults(fn=_cmd_boot)
+
+    micro = sub.add_parser("micro", help="section 9.1 microbenchmarks")
+    micro.add_argument("--memory-mb", type=int, default=2048)
+    micro.add_argument("--switches", type=int, default=5000)
+    micro.set_defaults(fn=_cmd_micro)
+
+    cs1 = sub.add_parser("cs1", help="module load/unload overhead")
+    cs1.add_argument("--reps", type=int, default=100)
+    cs1.set_defaults(fn=_cmd_cs1)
+
+    fig4 = sub.add_parser("fig4", help="enclave syscall microbenchmarks")
+    fig4.add_argument("--iterations", type=int, default=30)
+    fig4.add_argument("--chart", action="store_true",
+                      help="draw an ASCII bar chart instead of a table")
+    fig4.set_defaults(fn=_cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="shielded program overhead")
+    fig5.add_argument("--chart", action="store_true")
+    fig5.set_defaults(fn=_cmd_fig5)
+    fig6 = sub.add_parser("fig6", help="audit overhead")
+    fig6.add_argument("--chart", action="store_true")
+    fig6.set_defaults(fn=_cmd_fig6)
+    sub.add_parser("attacks",
+                   help="security validation suites").set_defaults(
+        fn=_cmd_attacks)
+
+    ltp = sub.add_parser("ltp", help="SDK conformance summary")
+    ltp.add_argument("--verbose", action="store_true")
+    ltp.set_defaults(fn=_cmd_ltp)
+
+    export = sub.add_parser("export",
+                            help="dump all results as JSON/CSV")
+    export.add_argument("--out", default="results")
+    export.set_defaults(fn=_cmd_export)
+
+    sub.add_parser("ablations",
+                   help="design-choice ablation experiments"
+                   ).set_defaults(fn=_cmd_ablations)
+
+    everything = sub.add_parser("all", help="the full evaluation")
+    everything.add_argument("--memory-mb", type=int, default=2048)
+    everything.add_argument("--switches", type=int, default=5000)
+    everything.add_argument("--reps", type=int, default=50)
+    everything.add_argument("--iterations", type=int, default=30)
+    everything.add_argument("--verbose", action="store_true")
+    everything.set_defaults(fn=_cmd_all)
+    return parser
+
+
+def main(argv=None) -> None:
+    """CLI entry point: parse arguments and run the command."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()

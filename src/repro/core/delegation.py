@@ -1,0 +1,37 @@
+"""Privileged-functionality delegation (paper section 5.3).
+
+The DomUNT kernel is architecturally unable to (a) create/boot VCPU
+instances and (b) execute ``PVALIDATE`` meaningfully for page-state
+changes.  These hooks reroute both paths through VeilMon, which sanitizes
+the requests (no protected pages, DomUNT-only VCPUs) before executing
+them at VMPL-0.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..hw.memory import page_base
+from .switch import MonitorGateway
+
+if typing.TYPE_CHECKING:
+    from ..kernel.kernel import Kernel
+
+
+def install_delegation(kernel: "Kernel", gateway: MonitorGateway) -> None:
+    """Install the PVALIDATE and VCPU-boot delegation hooks."""
+
+    def pvalidate_hook(core, ppn: int, validate: bool) -> None:
+        gateway.call_monitor(core, {
+            "op": "pvalidate", "ppn": ppn, "validate": validate})
+
+    def vcpu_boot_hook(core, vcpu_id: int) -> None:
+        assert kernel.kernel_table is not None
+        gateway.call_monitor(core, {
+            "op": "boot_vcpu", "vcpu_id": vcpu_id,
+            "cr3": kernel.kernel_table.root_ppn,
+            "ghcb_gpa": page_base(kernel.ghcb_ppns[vcpu_id]),
+        })
+
+    kernel.mm.pvalidate_hook = pvalidate_hook
+    kernel.vcpu_boot_hook = vcpu_boot_hook

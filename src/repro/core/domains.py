@@ -1,0 +1,51 @@
+"""Dual-factor privilege domains (paper section 5.1).
+
+A *privilege domain* is a mode of execution defined by the pair
+(VMPL, CPL).  Veil uses four:
+
+===========  ======  =====  =========================================
+Domain       VMPL    CPL    Occupant
+===========  ======  =====  =========================================
+DomMON       0       0      VeilMon (the security monitor)
+DomSER       1       0      Protected services (KCI / ENC / LOG)
+DomENC       2       3      Enclaves (mutual OS/enclave protection)
+DomUNT       3       0/3    The operating system and its processes
+===========  ======  =====  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+VMPL_MON = 0
+VMPL_SER = 1
+VMPL_ENC = 2
+VMPL_UNT = 3
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named (VMPL, CPL) execution mode."""
+
+    name: str
+    vmpl: int
+    cpl: int                 # representative CPL; DomUNT uses both
+
+    def __str__(self) -> str:
+        return f"{self.name}(VMPL-{self.vmpl}, CPL-{self.cpl})"
+
+
+DOM_MON = Domain("DomMON", VMPL_MON, 0)
+DOM_SER = Domain("DomSER", VMPL_SER, 0)
+DOM_ENC = Domain("DomENC", VMPL_ENC, 3)
+DOM_UNT = Domain("DomUNT", VMPL_UNT, 0)
+
+ALL_DOMAINS = (DOM_MON, DOM_SER, DOM_ENC, DOM_UNT)
+
+
+def domain_for_vmpl(vmpl: int) -> Domain:
+    """The privilege domain occupying a VMPL."""
+    for domain in ALL_DOMAINS:
+        if domain.vmpl == vmpl:
+            return domain
+    raise ValueError(f"no domain at VMPL-{vmpl}")

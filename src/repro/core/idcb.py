@@ -1,0 +1,109 @@
+"""Inter-Domain Communication Blocks (paper section 5.2).
+
+IDCBs are *private* guest pages (unlike the hypervisor-visible GHCB) used
+for bi-directional communication between two domains.  They are allocated
+in the **less-privileged** domain's memory so both sides can access them,
+and at per-VCPU granularity to avoid contention.
+
+An IDCB spans one or more (not necessarily contiguous) physical pages:
+half the region is the request slot, half the reply slot.  Requests and
+replies are serialized through the simulated memory system so copy costs
+are charged on both sides of the exchange.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SimulationError
+from ..hw.memory import PAGE_SIZE, PhysicalMemory, page_base
+
+_LEN = 4
+
+#: Default IDCB size in pages (32 KiB: large enough for page-list
+#: arguments like KCI activation and enclave layouts).
+DEFAULT_IDCB_PAGES = 8
+
+
+class Idcb:
+    """One IDCB region shared between two domains on one VCPU."""
+
+    def __init__(self, ppns, *, low_vmpl: int, high_vmpl: int):
+        if isinstance(ppns, int):
+            ppns = [ppns]
+        if not ppns:
+            raise SimulationError("IDCB needs at least one page")
+        self.ppns = list(ppns)
+        self.low_vmpl = low_vmpl      # less privileged side (owns memory)
+        self.high_vmpl = high_vmpl
+
+    @property
+    def ppn(self) -> int:
+        return self.ppns[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.ppns) * PAGE_SIZE
+
+    @property
+    def slot_size(self) -> int:
+        return self.size // 2
+
+    # -- scatter I/O over the backing pages ---------------------------------
+
+    def _write_bytes(self, mem: PhysicalMemory, offset: int,
+                     data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page_index, in_page = divmod(offset + pos, PAGE_SIZE)
+            chunk = min(len(data) - pos, PAGE_SIZE - in_page)
+            mem.write(page_base(self.ppns[page_index]) + in_page,
+                      data[pos:pos + chunk])
+            pos += chunk
+
+    def _read_bytes(self, mem: PhysicalMemory, offset: int,
+                    length: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            page_index, in_page = divmod(offset + pos, PAGE_SIZE)
+            chunk = min(length - pos, PAGE_SIZE - in_page)
+            out.extend(mem.read(page_base(self.ppns[page_index]) + in_page,
+                                chunk))
+            pos += chunk
+        return bytes(out)
+
+    # -- message slots ---------------------------------------------------------
+
+    def _write(self, mem: PhysicalMemory, offset: int, payload: dict) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if len(blob) + _LEN > self.slot_size:
+            raise SimulationError(
+                f"IDCB message of {len(blob)}B exceeds the "
+                f"{self.slot_size}B slot")
+        self._write_bytes(mem, offset,
+                          len(blob).to_bytes(_LEN, "little") + blob)
+
+    def _read(self, mem: PhysicalMemory, offset: int) -> dict:
+        length = int.from_bytes(self._read_bytes(mem, offset, _LEN),
+                                "little")
+        if length == 0 or length > self.slot_size - _LEN:
+            raise SimulationError("IDCB slot holds no valid message")
+        blob = self._read_bytes(mem, offset + _LEN, length)
+        return json.loads(blob.decode("utf-8"))
+
+    def write_request(self, mem: PhysicalMemory, payload: dict) -> None:
+        """Serialize a request into the request slot."""
+        self._write(mem, 0, payload)
+
+    def read_request(self, mem: PhysicalMemory) -> dict:
+        """Deserialize the current request."""
+        return self._read(mem, 0)
+
+    def write_reply(self, mem: PhysicalMemory, payload: dict) -> None:
+        """Serialize a reply into the reply slot."""
+        self._write(mem, self.slot_size, payload)
+
+    def read_reply(self, mem: PhysicalMemory) -> dict:
+        """Deserialize the current reply."""
+        return self._read(mem, self.slot_size)

@@ -1,0 +1,11 @@
+"""Veil protected services: KCI, ENC, and LOG (paper section 6)."""
+
+from .base import ProtectedService
+from .enc import EnclaveRecord, SwapRecord, VeilSEnc
+from .kci import ProtectedModule, VeilSKci
+from .log import VeilLogSink, VeilSLog
+
+__all__ = [
+    "ProtectedService", "EnclaveRecord", "SwapRecord", "VeilSEnc",
+    "ProtectedModule", "VeilSKci", "VeilLogSink", "VeilSLog",
+]

@@ -1,0 +1,42 @@
+"""Finite-field Diffie–Hellman for the remote-user secure channel.
+
+The SEV-SNP attestation digest carries "additional data (e.g. information
+to establish a Diffie-Hellman shared key)" (paper section 5.1).  We model
+that with classic DH over the RFC 3526 2048-bit MODP group; the shared
+secret is hashed into a symmetric channel key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+# RFC 3526 group 14 (2048-bit MODP).
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16)
+GENERATOR = 2
+
+
+class DhKeyPair:
+    """One party's ephemeral DH key pair."""
+
+    def __init__(self, private: int | None = None):
+        self.private = private if private is not None else (
+            secrets.randbits(256) | 1)
+        self.public = pow(GENERATOR, self.private, MODP_2048_P)
+
+    def shared_key(self, peer_public: int) -> bytes:
+        """Derive the 32-byte symmetric channel key."""
+        if not 1 < peer_public < MODP_2048_P - 1:
+            raise ValueError("peer public value out of range")
+        secret = pow(peer_public, self.private, MODP_2048_P)
+        blob = secret.to_bytes((MODP_2048_P.bit_length() + 7) // 8, "big")
+        return hashlib.sha256(b"veil-channel" + blob).digest()

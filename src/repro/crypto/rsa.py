@@ -1,0 +1,115 @@
+"""Minimal RSA signatures (hash-and-sign) for module and attestation keys.
+
+Pure-Python RSA with Miller–Rabin key generation.  Used for:
+
+* kernel-module signatures verified by VeilS-KCI;
+* the AMD-processor-rooted attestation report signature.
+
+Keys default to 1024 bits to keep test suites fast; this is a fidelity
+trade-off documented in DESIGN.md, not a recommendation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from ..errors import SecurityViolation
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
+
+
+def _is_probable_prime(n: int, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SecurityViolation` unless the signature is valid."""
+        sig_int = int.from_bytes(signature, "big")
+        if not 0 < sig_int < self.n:
+            raise SecurityViolation("signature out of range")
+        recovered = pow(sig_int, self.e, self.n)
+        expected = int.from_bytes(_digest_padded(message, self.n), "big")
+        if recovered != expected:
+            raise SecurityViolation("RSA signature verification failed")
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for the public key."""
+        blob = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    public: RsaPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign SHA-256(message) with deterministic padding."""
+        padded = int.from_bytes(_digest_padded(message, self.public.n), "big")
+        sig = pow(padded, self.d, self.public.n)
+        size = (self.public.n.bit_length() + 7) // 8
+        return sig.to_bytes(size, "big")
+
+
+def _digest_padded(message: bytes, modulus: int) -> bytes:
+    """Deterministic full-domain-style padding of SHA-256(message)."""
+    size = (modulus.bit_length() + 7) // 8
+    digest = hashlib.sha256(message).digest()
+    stretched = bytearray()
+    counter = 0
+    while len(stretched) < size - 1:
+        stretched.extend(hashlib.sha256(
+            digest + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    # Leading zero byte keeps the padded value below the modulus.
+    return bytes([0]) + bytes(stretched[:size - 1])
+
+
+def generate_keypair(bits: int = 1024, e: int = 65537) -> RsaKeyPair:
+    """Generate an RSA key pair (probabilistic primes, standard e)."""
+    while True:
+        p = _random_prime(bits // 2)
+        q = _random_prime(bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return RsaKeyPair(RsaPublicKey(n=n, e=e), d=d)

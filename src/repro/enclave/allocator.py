@@ -1,0 +1,158 @@
+"""dlmalloc-style heap allocator for enclave memory (paper section 7).
+
+The SDK implements an internal heap allocator over the enclave's heap
+region.  This is a boundary-tag allocator in the dlmalloc tradition:
+each chunk carries an 8-byte header (size + in-use bit), freed chunks are
+kept on a first-fit free list and coalesced with free neighbours.
+
+All metadata lives *inside simulated enclave memory* through the accessor
+functions, so allocator state enjoys (and is subject to) the same VMPL
+protection as enclave data.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import SdkError
+
+HEADER_BYTES = 8
+MIN_CHUNK = 32
+ALIGN = 16
+_IN_USE = 1
+
+
+class EnclaveHeap:
+    """Boundary-tag allocator over ``[base, base+size)`` enclave memory.
+
+    ``read``/``write`` are accessor callables ``(vaddr, length) -> bytes``
+    and ``(vaddr, data) -> None`` bound to the enclave execution context.
+    """
+
+    def __init__(self, base: int, size: int,
+                 read: typing.Callable[[int, int], bytes],
+                 write: typing.Callable[[int, bytes], None]):
+        if size < MIN_CHUNK * 2:
+            raise SdkError("heap too small")
+        self.base = base
+        self.size = size
+        self._read = read
+        self._write = write
+        # One initial free chunk spanning the whole heap.
+        self._set_header(base, size, in_use=False)
+        self.allocated_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- header helpers (stored in enclave memory) -----------------------
+
+    def _set_header(self, chunk: int, size: int, *, in_use: bool) -> None:
+        word = (size & ~0xF) | (_IN_USE if in_use else 0)
+        self._write(chunk, word.to_bytes(HEADER_BYTES, "little"))
+
+    def _get_header(self, chunk: int) -> tuple[int, bool]:
+        word = int.from_bytes(self._read(chunk, HEADER_BYTES), "little")
+        return word & ~0xF, bool(word & _IN_USE)
+
+    # -- public API ----------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the user vaddr.
+
+        First-fit over the chunk list with splitting.  Raises
+        :class:`SdkError` when the heap is exhausted (enclaves cannot grow
+        their layout post-measurement).
+        """
+        if nbytes <= 0:
+            raise SdkError("malloc of non-positive size")
+        need = self._round_up(nbytes + HEADER_BYTES)
+        chunk = self.base
+        end = self.base + self.size
+        while chunk < end:
+            size, in_use = self._get_header(chunk)
+            if size == 0:
+                raise SdkError("heap metadata corrupted (zero chunk)")
+            if not in_use and size >= need:
+                self._carve(chunk, size, need)
+                self.allocated_bytes += need
+                self.alloc_count += 1
+                return chunk + HEADER_BYTES
+            chunk += size
+        raise SdkError(f"enclave heap exhausted ({nbytes} bytes requested)")
+
+    def free(self, vaddr: int) -> None:
+        """Free a pointer returned by :meth:`malloc` (with coalescing)."""
+        chunk = vaddr - HEADER_BYTES
+        if not self.base <= chunk < self.base + self.size:
+            raise SdkError(f"free of pointer outside heap: {vaddr:#x}")
+        size, in_use = self._get_header(chunk)
+        if not in_use:
+            raise SdkError(f"double free at {vaddr:#x}")
+        self._set_header(chunk, size, in_use=False)
+        self.allocated_bytes -= size
+        self.free_count += 1
+        self._coalesce()
+
+    def calloc(self, nbytes: int) -> int:
+        """malloc + zero-fill."""
+        vaddr = self.malloc(nbytes)
+        self._write(vaddr, b"\x00" * nbytes)
+        return vaddr
+
+    def realloc(self, vaddr: int, nbytes: int) -> int:
+        """Grow (or keep) an allocation, preserving contents."""
+        chunk = vaddr - HEADER_BYTES
+        size, in_use = self._get_header(chunk)
+        if not in_use:
+            raise SdkError("realloc of freed pointer")
+        old_user = size - HEADER_BYTES
+        if nbytes <= old_user:
+            return vaddr
+        new = self.malloc(nbytes)
+        self._write(new, self._read(vaddr, old_user))
+        self.free(vaddr)
+        return new
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _round_up(n: int) -> int:
+        n = max(n, MIN_CHUNK)
+        return (n + ALIGN - 1) & ~(ALIGN - 1)
+
+    def _carve(self, chunk: int, size: int, need: int) -> None:
+        remainder = size - need
+        if remainder >= MIN_CHUNK:
+            self._set_header(chunk, need, in_use=True)
+            self._set_header(chunk + need, remainder, in_use=False)
+        else:
+            self._set_header(chunk, size, in_use=True)
+
+    def _coalesce(self) -> None:
+        """Merge adjacent free chunks (single forward pass)."""
+        chunk = self.base
+        end = self.base + self.size
+        while chunk < end:
+            size, in_use = self._get_header(chunk)
+            if size == 0:
+                raise SdkError("heap metadata corrupted during coalesce")
+            nxt = chunk + size
+            if not in_use and nxt < end:
+                nsize, nused = self._get_header(nxt)
+                if not nused:
+                    self._set_header(chunk, size + nsize, in_use=False)
+                    continue          # try merging further
+            chunk = nxt
+
+    def walk(self) -> list[tuple[int, int, bool]]:
+        """(vaddr, size, in_use) for every chunk -- test/debug aid."""
+        out = []
+        chunk = self.base
+        end = self.base + self.size
+        while chunk < end:
+            size, in_use = self._get_header(chunk)
+            if size == 0:
+                break
+            out.append((chunk, size, in_use))
+            chunk += size
+        return out

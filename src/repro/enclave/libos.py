@@ -1,0 +1,212 @@
+"""A minimal library-OS layer over the enclave SDK (paper section 10).
+
+The paper proposes integrating an SGX library OS (e.g. Graphene) on top
+of VeilS-ENC; the porting effort is a platform-abstraction layer mapping
+LibOS downcalls onto Veil's redirection primitives.  This module is that
+layer's user-facing slice: POSIX-style **buffered streams** whose I/O is
+batched into few enclave exits, plus a tiny process environment.
+
+The buffering matters for performance, not just convenience: a stream
+with a 4 KiB buffer turns dozens of per-byte ``write`` redirections (two
+world switches each) into one.
+"""
+
+from __future__ import annotations
+
+from ..errors import SdkError
+from ..kernel.fs import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC,
+                         SEEK_CUR, SEEK_END, SEEK_SET)
+from .sdk import EnclaveLibc
+
+DEFAULT_BUFFER = 4096
+
+_MODE_FLAGS = {
+    "r": O_RDONLY,
+    "r+": O_RDWR,
+    "w": O_CREAT | O_RDWR | O_TRUNC,
+    "w+": O_CREAT | O_RDWR | O_TRUNC,
+    "a": O_CREAT | O_RDWR | O_APPEND,
+    "a+": O_CREAT | O_RDWR | O_APPEND,
+}
+
+
+class EnclaveFile:
+    """A buffered stream (FILE*) over a redirected file descriptor."""
+
+    def __init__(self, libc: EnclaveLibc, fd: int, *,
+                 buffer_size: int = DEFAULT_BUFFER):
+        self._libc = libc
+        self.fd = fd
+        self.buffer_size = buffer_size
+        self._write_buffer = bytearray()
+        self._read_buffer = b""
+        self._read_offset = 0
+        self.closed = False
+
+    # -- writing ----------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Buffered write; flushes when the buffer fills."""
+        self._check_open()
+        # Reading leaves the descriptor ahead of the logical position;
+        # a write must land at the logical position, so discard the
+        # read-ahead and rewind first (C stdio leaves this undefined
+        # without an intervening seek; we match BytesIO semantics).
+        ahead = len(self._read_buffer) - self._read_offset
+        if ahead:
+            self._libc.lseek(self.fd, -ahead, SEEK_CUR)
+            self._read_buffer = b""
+            self._read_offset = 0
+        self._write_buffer.extend(data)
+        while len(self._write_buffer) >= self.buffer_size:
+            chunk = bytes(self._write_buffer[:self.buffer_size])
+            del self._write_buffer[:self.buffer_size]
+            self._libc.write(self.fd, chunk)
+        return len(data)
+
+    def print(self, text: str) -> int:
+        """fprintf-style formatted output."""
+        return self.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        """Push buffered writes to the descriptor."""
+        self._check_open()
+        if self._write_buffer:
+            self._libc.write(self.fd, bytes(self._write_buffer))
+            self._write_buffer.clear()
+
+    # -- reading ------------------------------------------------------------
+
+    def _fill(self) -> None:
+        if self._read_offset >= len(self._read_buffer):
+            self._read_buffer = self._libc.read(self.fd,
+                                                self.buffer_size)
+            self._read_offset = 0
+
+    def read(self, count: int = -1) -> bytes:
+        """Buffered read; ``count=-1`` reads to EOF."""
+        self._check_open()
+        self.flush()
+        out = bytearray()
+        while count < 0 or len(out) < count:
+            self._fill()
+            if not self._read_buffer:
+                break
+            available = self._read_buffer[self._read_offset:]
+            take = len(available) if count < 0 else \
+                min(len(available), count - len(out))
+            out.extend(available[:take])
+            self._read_offset += take
+        return bytes(out)
+
+    def readline(self) -> bytes:
+        """Read up to and including the next newline (fgets)."""
+        self._check_open()
+        self.flush()
+        out = bytearray()
+        while True:
+            self._fill()
+            if not self._read_buffer:
+                break
+            chunk = self._read_buffer[self._read_offset:]
+            newline = chunk.find(b"\n")
+            if newline >= 0:
+                out.extend(chunk[:newline + 1])
+                self._read_offset += newline + 1
+                break
+            out.extend(chunk)
+            self._read_offset = len(self._read_buffer)
+        return bytes(out)
+
+    # -- positioning ----------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = SEEK_SET) -> int:
+        """Flush, drop read-ahead, and reposition (fseek)."""
+        self._check_open()
+        self.flush()
+        self._read_buffer = b""
+        self._read_offset = 0
+        return self._libc.lseek(self.fd, offset, whence)
+
+    def tell(self) -> int:
+        """Logical position, accounting for both buffers (ftell)."""
+        self._check_open()
+        pending = len(self._write_buffer)
+        buffered_ahead = len(self._read_buffer) - self._read_offset
+        return self._libc.lseek(self.fd, 0, SEEK_CUR) + pending - \
+            buffered_ahead
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying descriptor."""
+        if self.closed:
+            return
+        self.flush()
+        self._libc.close(self.fd)
+        self.closed = True
+
+    def __enter__(self) -> "EnclaveFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SdkError("operation on closed stream")
+
+
+class LibOs:
+    """The LibOS facade an enclave program codes against."""
+
+    def __init__(self, libc: EnclaveLibc):
+        self.libc = libc
+        self._env: dict[str, str] = {}
+        self.stdout = EnclaveFile(libc, 1)
+        self.stderr = EnclaveFile(libc, 2, buffer_size=1)  # unbuffered
+
+    # -- stdio ------------------------------------------------------------
+
+    def fopen(self, path: str, mode: str = "r", *,
+              buffer_size: int = DEFAULT_BUFFER) -> EnclaveFile:
+        """Open a buffered stream; modes r/r+/w/w+/a/a+."""
+        flags = _MODE_FLAGS.get(mode)
+        if flags is None:
+            raise SdkError(f"unsupported fopen mode {mode!r}")
+        fd = self.libc.open(path, flags)
+        stream = EnclaveFile(self.libc, fd, buffer_size=buffer_size)
+        if mode.startswith("a"):
+            stream.seek(0, SEEK_END)
+        return stream
+
+    def printf(self, text: str) -> int:
+        """Buffered formatted output to stdout."""
+        return self.stdout.print(text)
+
+    def fflush_all(self) -> None:
+        """Flush stdout and stderr."""
+        self.stdout.flush()
+        self.stderr.flush()
+
+    # -- environment -----------------------------------------------------------
+
+    def getenv(self, name: str, default: str | None = None):
+        """Look up a process-environment variable."""
+        return self._env.get(name, default)
+
+    def setenv(self, name: str, value: str) -> None:
+        """Set a process-environment variable."""
+        self._env[name] = value
+
+    # -- convenience --------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        """Slurp a whole file through a buffered stream."""
+        with self.fopen(path, "r") as stream:
+            return stream.read()
+
+    def write_file(self, path: str, data: bytes) -> int:
+        """Write a whole file (truncating) through a stream."""
+        with self.fopen(path, "w") as stream:
+            return stream.write(data)

@@ -1,0 +1,218 @@
+"""EnclaveLibc: the C-library surface enclave programs code against.
+
+Wraps the runtime's redirected syscalls with musl-style conveniences:
+buffers are allocated on the enclave heap, string I/O is mediated, and
+``printf`` writes to stdout through the redirection path.  Enclave
+programs in this reproduction are Python callables ``main(libc)`` that
+use only this surface -- the analog of a self-contained static binary.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import SdkError
+from .runtime import EnclaveRuntime
+
+if typing.TYPE_CHECKING:
+    pass
+
+
+class EnclaveLibc:
+    """Per-enclave libc instance (single-threaded, like the prototype)."""
+
+    def __init__(self, runtime: EnclaveRuntime):
+        self.rt = runtime
+
+    # -- memory ------------------------------------------------------------
+
+    @property
+    def heap(self):
+        if self.rt.heap is None:
+            raise SdkError("heap used before enclave entry")
+        return self.rt.heap
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` on the enclave heap; returns a vaddr."""
+        return self.heap.malloc(nbytes)
+
+    def free(self, vaddr: int) -> None:
+        """Release a malloc'd pointer."""
+        self.heap.free(vaddr)
+
+    def poke(self, vaddr: int, data: bytes) -> None:
+        """Write bytes into enclave memory."""
+        self.rt.enclave_write(vaddr, data)
+
+    def peek(self, vaddr: int, length: int) -> bytes:
+        """Read bytes from enclave memory."""
+        return self.rt.enclave_read(vaddr, length)
+
+    # -- files ---------------------------------------------------------------
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        """Redirected open(2); returns an fd."""
+        return self.rt.syscall("open", path, flags, mode)
+
+    def close(self, fd: int) -> int:
+        """Redirected close(2)."""
+        return self.rt.syscall("close", fd)
+
+    def read(self, fd: int, count: int) -> bytes:
+        """Redirected read(2) via a heap buffer; returns the bytes."""
+        buf = self.malloc(max(count, 1))
+        try:
+            got = self.rt.syscall("read", fd, buf, count)
+            return self.peek(buf, got) if got else b""
+        finally:
+            self.free(buf)
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Redirected write(2) of enclave-resident data."""
+        buf = self.malloc(max(len(data), 1))
+        try:
+            self.poke(buf, data)
+            return self.rt.syscall("write", fd, buf, len(data))
+        finally:
+            self.free(buf)
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        """Redirected positional read; offset unchanged."""
+        buf = self.malloc(max(count, 1))
+        try:
+            got = self.rt.syscall("pread", fd, buf, count, offset)
+            return self.peek(buf, got) if got else b""
+        finally:
+            self.free(buf)
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """Redirected positional write; offset unchanged."""
+        buf = self.malloc(max(len(data), 1))
+        try:
+            self.poke(buf, data)
+            return self.rt.syscall("pwrite", fd, buf, len(data), offset)
+        finally:
+            self.free(buf)
+
+    def lseek(self, fd: int, offset: int, whence: int) -> int:
+        """Redirected lseek(2)."""
+        return self.rt.syscall("lseek", fd, offset, whence)
+
+    def stat(self, path: str) -> dict:
+        """Redirected stat(2); returns metadata."""
+        return self.rt.syscall("stat", path)
+
+    def unlink(self, path: str) -> int:
+        """Redirected unlink(2)."""
+        return self.rt.syscall("unlink", path)
+
+    def printf(self, text: str) -> int:
+        """Formatted output to stdout through the redirection path."""
+        return self.write(1, text.encode("utf-8"))
+
+    # -- memory mapping ----------------------------------------------------------
+
+    def mmap(self, length: int, prot: int = 3, flags: int = 0x22,
+             fd: int = -1, offset: int = 0) -> int:
+        """Redirected mmap(2); the result is IAGO-checked."""
+        return self.rt.syscall("mmap", 0, length, prot, flags, fd, offset)
+
+    def munmap(self, addr: int, length: int) -> int:
+        """Redirected munmap(2)."""
+        return self.rt.syscall("munmap", addr, length)
+
+    # -- network -------------------------------------------------------------------
+
+    def socket(self, family: int = 2, stype: int = 1,
+               proto: int = 0) -> int:
+        """Redirected socket(2); returns an fd."""
+        return self.rt.syscall("socket", family, stype, proto)
+
+    def bind(self, fd: int, addr: str, port: int) -> int:
+        """Redirected bind(2)."""
+        return self.rt.syscall("bind", fd, addr, port)
+
+    def listen(self, fd: int, backlog: int = 16) -> int:
+        """Redirected listen(2)."""
+        return self.rt.syscall("listen", fd, backlog)
+
+    def accept(self, fd: int) -> int:
+        """Redirected accept(2); returns the connection fd."""
+        return self.rt.syscall("accept", fd)
+
+    def connect(self, fd: int, addr: str, port: int) -> int:
+        """Redirected connect(2)."""
+        return self.rt.syscall("connect", fd, addr, port)
+
+    def send(self, fd: int, data: bytes) -> int:
+        """Redirected sendto(2) of enclave-resident data."""
+        buf = self.malloc(max(len(data), 1))
+        try:
+            self.poke(buf, data)
+            return self.rt.syscall("sendto", fd, buf, len(data))
+        finally:
+            self.free(buf)
+
+    def recv(self, fd: int, count: int) -> bytes:
+        """Redirected recvfrom(2); returns the bytes."""
+        buf = self.malloc(max(count, 1))
+        try:
+            got = self.rt.syscall("recvfrom", fd, buf, count)
+            return self.peek(buf, got) if got else b""
+        finally:
+            self.free(buf)
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def getpid(self) -> int:
+        """Redirected getpid(2)."""
+        return self.rt.syscall("getpid")
+
+    def getrandom(self, count: int) -> bytes:
+        """Redirected getrandom(2); returns the bytes."""
+        buf = self.malloc(max(count, 1))
+        try:
+            got = self.rt.syscall("getrandom", buf, count)
+            return self.peek(buf, got)
+        finally:
+            self.free(buf)
+
+    def compute(self, cycles: int) -> None:
+        """In-enclave computation (no exits unless a timer fires)."""
+        self.rt.compute(cycles)
+
+    def batch(self):
+        """Start a syscall batch (one exit for many calls, section 10)."""
+        return self.rt.batch()
+
+    def enable_sidechannel_flush(self) -> None:
+        """Opt in to WBINVD-on-exit (section 10 eOPF-style mitigation):
+        VeilS-ENC scrubs this core's cache/TLB footprint at every
+        enclave exit, trading exit latency for side-channel resistance."""
+        self.rt.flush_on_exit = True
+
+    # -- consensual enclave-to-enclave sharing (section 10) ---------------
+
+    def grant_share(self, peer_id: int, vaddr: int,
+                    num_pages: int) -> dict:
+        """Grant a mutually-trusting peer enclave access to a region."""
+        return self.rt.service_request({
+            "op": "enc_grant_share",
+            "enclave_id": self.rt.setup.enclave_id, "peer_id": peer_id,
+            "vaddr": vaddr, "num_pages": num_pages})
+
+    def accept_share(self, owner_id: int, owner_vaddr: int,
+                     map_vaddr: int, num_pages: int) -> dict:
+        """Map a granted region from ``owner_id`` into this enclave."""
+        return self.rt.service_request({
+            "op": "enc_accept_share",
+            "enclave_id": self.rt.setup.enclave_id,
+            "owner_id": owner_id, "owner_vaddr": owner_vaddr,
+            "map_vaddr": map_vaddr, "num_pages": num_pages})
+
+    def mprotect_enclave(self, vaddr: int, num_pages: int, *,
+                         writable: bool, executable: bool) -> dict:
+        """Enclave-initiated permission change (via its IDCB)."""
+        return self.rt.enclave_mprotect(vaddr, num_pages,
+                                        writable=writable,
+                                        executable=executable)

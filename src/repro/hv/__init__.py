@@ -1,0 +1,12 @@
+"""Untrusted host software: hypervisor, PSP attestation, virtio devices."""
+
+from .attestation import (AttestationReport, RemoteUser, SecureProcessor,
+                          platform_signing_key)
+from .devices import SECTOR_SIZE, VirtioBlock, VirtioConsole
+from .hypervisor import GhcbPolicy, HostAccessBlocked, Hypervisor
+
+__all__ = [
+    "AttestationReport", "RemoteUser", "SecureProcessor",
+    "platform_signing_key", "SECTOR_SIZE", "VirtioBlock", "VirtioConsole",
+    "GhcbPolicy", "HostAccessBlocked", "Hypervisor",
+]

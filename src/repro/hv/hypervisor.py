@@ -1,0 +1,320 @@
+"""The untrusted KVM-like hypervisor.
+
+Implements the three host-side changes the paper makes to KVM (section 7):
+
+1. maintain VMSAs for newly-created domains (a per-VCPU registry keyed by
+   VMPL, the analog of the ``struct vcpu_svm`` change);
+2. hypercall handling for domain switches (with the per-GHCB switch policy
+   from section 6.2 -- user-mapped GHCBs may only switch DomUNT <-> DomENC);
+3. relaying automatic interrupt exits taken during enclave execution to
+   DomUNT.
+
+The hypervisor is *untrusted*: it also exposes attack knobs (refusing the
+interrupt relay, attempting VMSA tampering through host memory access) used
+by the section 8 experiments.  Host access to guest memory goes through
+:meth:`host_read` / :meth:`host_write`, which enforce the SEV-SNP rule that
+assigned guest pages are inaccessible from outside.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..errors import NestedPageFault, SecurityViolation, \
+    SimulationError
+from ..hw.ghcb import Ghcb
+from ..hw.memory import page_base
+from ..hw.pagetable import PageFault
+from ..hw.vmsa import Vmsa
+from .attestation import SecureProcessor
+from .devices import VirtioBlock, VirtioConsole
+
+if typing.TYPE_CHECKING:
+    from ..hw.platform import SevSnpMachine
+    from ..hw.vcpu import VirtualCpu
+
+
+class HostAccessBlocked(SecurityViolation):
+    """SEV-SNP blocked a host-side access to assigned guest memory."""
+
+
+@dataclass
+class GhcbPolicy:
+    """Per-GHCB switch policy installed at registration time."""
+
+    vcpu_id: int
+    #: Allowed (from_vmpl, to_vmpl) transitions via this GHCB.
+    allowed_switches: set = field(default_factory=set)
+
+
+class Hypervisor:
+    """Host VMM servicing one confidential VM."""
+
+    def __init__(self, machine: "SevSnpMachine",
+                 psp: SecureProcessor | None = None):
+        self.machine = machine
+        machine.hypervisor = self
+        self.psp = psp or SecureProcessor()
+        self.console = VirtioConsole()
+        self.block = VirtioBlock()
+        #: (vcpu_id, vmpl) -> VMSA.  The "struct vcpu_svm" extension.
+        self.vmsas: dict[tuple[int, int], Vmsa] = {}
+        #: ghcb ppn -> policy, for GHCBs registered for domain switching.
+        self.ghcb_policies: dict[int, GhcbPolicy] = {}
+        #: VMPL that receives relayed interrupts during enclave execution.
+        self.interrupt_relay_vmpl = 3
+        #: Called (core) after an interrupt is relayed to DomUNT so the
+        #: guest kernel model can account handler work before the enclave
+        #: is resumed.  Installed by the kernel at boot.
+        self.interrupt_return_hook = None
+        # ---- attack knobs (section 8) -------------------------------------
+        self.refuse_interrupt_relay = False
+        self.exit_log: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+
+    def launch(self, boot_image: bytes, *, boot_vcpu_id: int = 0) -> Vmsa:
+        """Measure the boot image and create the boot VCPU at VMPL-0.
+
+        Returns the boot VMSA; the caller (the boot code model) enters it
+        on core 0.  Per the paper, the boot VCPU instance is the only one
+        the hypervisor creates, and it is always VMPL-0.
+        """
+        self.psp.measure_launch(boot_image)
+        vmsa = self._materialize_vmsa(vcpu_id=boot_vcpu_id, vmpl=0)
+        self.vmsas[(boot_vcpu_id, 0)] = vmsa
+        return vmsa
+
+    def _materialize_vmsa(self, *, vcpu_id: int, vmpl: int) -> Vmsa:
+        ppn = self.machine.frames.alloc("vmsa")
+        ent = self.machine.rmp.entry(ppn)
+        ent.assigned = True
+        ent.validated = True
+        ent.vmsa = True
+        vmsa = Vmsa(vcpu_id=vcpu_id, vmpl=vmpl, ppn=ppn)
+        self.machine.vmsa_objects[ppn] = vmsa
+        return vmsa
+
+    # ------------------------------------------------------------------
+    # Host-side memory access (SEV-SNP enforcement)
+    # ------------------------------------------------------------------
+
+    def host_read(self, paddr: int, length: int) -> bytes:
+        """Read guest physical memory from the host side."""
+        self._host_check(paddr, length, "read")
+        return self.machine.memory.read(paddr, length)
+
+    def host_write(self, paddr: int, data: bytes) -> None:
+        """Write guest physical memory from the host side."""
+        self._host_check(paddr, len(data), "write")
+        self.machine.memory.write(paddr, data)
+
+    def _host_check(self, paddr: int, length: int, what: str) -> None:
+        from ..hw.memory import pages_spanned
+        for ppn in pages_spanned(paddr, length):
+            ent = self.machine.rmp.entry(ppn)
+            if ent.shared:
+                continue
+            if ent.assigned or ent.vmsa:
+                raise HostAccessBlocked(
+                    f"host {what} of assigned guest page {ppn:#x} blocked "
+                    "by SEV-SNP")
+
+    # ------------------------------------------------------------------
+    # VMGEXIT dispatch
+    # ------------------------------------------------------------------
+
+    def handle_vmgexit(self, core: "VirtualCpu") -> None:
+        """Service a non-automatic exit.  ``core`` has already hw_exit()ed."""
+        exited = core.instance
+        if exited is None:
+            raise SimulationError("vmgexit with no exited instance")
+        ghcb_gpa = exited.regs.ghcb_msr
+        if ghcb_gpa == 0:
+            self.machine.halt("VMGEXIT with no GHCB published")
+        ghcb = Ghcb(ghcb_gpa >> 12)
+        message = ghcb.read_message(self.machine.memory)
+        op = message.get("op")
+        self.exit_log.append(f"vmgexit:{op}")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            self.machine.halt(f"unknown VMGEXIT op {op!r}")
+        handler(core, exited, ghcb, message)
+
+    def _enter(self, core: "VirtualCpu", vmsa: Vmsa) -> None:
+        """VMENTER ``core`` on ``vmsa`` (charges the enter half-cost)."""
+        self.machine.ledger.charge("domain_switch", self.machine.cost.vmenter)
+        core.hw_enter(vmsa)
+
+    def _resume_same(self, core: "VirtualCpu", exited: Vmsa) -> None:
+        self._enter(core, exited)
+
+    # -- operations -------------------------------------------------------
+
+    def _op_domain_switch(self, core, exited: Vmsa, ghcb: Ghcb,
+                          message: dict) -> None:
+        target_vmpl = int(message["target_vmpl"])
+        policy = self.ghcb_policies.get(ghcb.ppn)
+        if policy is None:
+            self.machine.halt(
+                f"domain switch via unregistered GHCB {ghcb.ppn:#x}")
+        pair = (exited.vmpl, target_vmpl)
+        if pair not in policy.allowed_switches:
+            # Paper section 6.2: errant hypercalls crash the CVM.
+            self.machine.halt(
+                f"GHCB {ghcb.ppn:#x} does not permit switch "
+                f"VMPL-{pair[0]} -> VMPL-{pair[1]}")
+        target = self.vmsas.get((exited.vcpu_id, target_vmpl))
+        if target is None:
+            self.machine.halt(
+                f"no VMSA for vcpu {exited.vcpu_id} at VMPL-{target_vmpl}")
+        self._enter(core, target)
+
+    def _op_register_vmsa(self, core, exited: Vmsa, ghcb: Ghcb,
+                          message: dict) -> None:
+        """Guest VMPL-0 software created a VMSA; record it (KVM change #1).
+
+        The hardware analog of the check below is that VMENTER validates
+        the target page really is an RMP-marked VMSA page; a forged
+        registration therefore cannot produce a runnable instance.
+        """
+        ppn = int(message["vmsa_ppn"])
+        ent = self.machine.rmp.entry(ppn)
+        vmsa = self.machine.vmsa_objects.get(ppn)
+        if vmsa is None or not ent.vmsa:
+            self.machine.halt(f"register_vmsa on non-VMSA page {ppn:#x}")
+        self.vmsas[(vmsa.vcpu_id, vmsa.vmpl)] = vmsa
+        self._resume_same(core, exited)
+
+    def _op_start_vcpu(self, core, exited: Vmsa, ghcb: Ghcb,
+                       message: dict) -> None:
+        """AP boot / hotplug: start a core on a registered VMSA."""
+        vcpu_id = int(message["vcpu_id"])
+        vmpl = int(message.get("vmpl", 3))
+        target = self.vmsas.get((vcpu_id, vmpl))
+        if target is None:
+            self.machine.halt(f"start_vcpu: no VMSA for vcpu {vcpu_id} "
+                              f"at VMPL-{vmpl}")
+        if vcpu_id >= len(self.machine.cores):
+            self.machine.halt(f"start_vcpu: no physical core {vcpu_id}")
+        self._enter(self.machine.cores[vcpu_id], target)
+        self._resume_same(core, exited)
+
+    def _op_page_state_change(self, core, exited: Vmsa, ghcb: Ghcb,
+                              message: dict) -> None:
+        """Guest asks to convert pages private<->shared (KVM assists)."""
+        action = message["action"]
+        for ppn in message["ppns"]:
+            if action == "share":
+                self.machine.rmp.share(int(ppn))
+            elif action == "private":
+                self.machine.rmp.assign(int(ppn))
+            else:
+                self.machine.halt(f"bad page_state_change {action!r}")
+        self._resume_same(core, exited)
+
+    def _op_io(self, core, exited: Vmsa, ghcb: Ghcb, message: dict) -> None:
+        """Device I/O: console writes and block-device sector access."""
+        device = message["device"]
+        reply: dict = {"status": "ok"}
+        if device == "console":
+            data = bytes.fromhex(message["data_hex"])
+            reply["written"] = self.console.write(data)
+        elif device == "block":
+            lba = int(message["lba"])
+            if message["action"] == "read":
+                reply["data_hex"] = self.block.read_sector(lba).hex()
+            else:
+                self.block.write_sector(lba,
+                                        bytes.fromhex(message["data_hex"]))
+        else:
+            self.machine.halt(f"io to unknown device {device!r}")
+        ghcb.write_message(self.machine.memory, reply)
+        self._resume_same(core, exited)
+
+    def _op_attestation_report(self, core, exited: Vmsa, ghcb: Ghcb,
+                               message: dict) -> None:
+        """Forward an attestation request to the PSP.
+
+        The PSP stamps the *requesting VMPL* from the hardware context --
+        the hypervisor cannot lie about it.
+        """
+        report = self.psp.attestation_report(
+            requester_vmpl=exited.vmpl,
+            report_data=bytes.fromhex(message["report_data_hex"]))
+        ghcb.write_message(self.machine.memory, {
+            "status": "ok",
+            "measurement_hex": report.measurement.hex(),
+            "requester_vmpl": report.requester_vmpl,
+            "report_data_hex": report.report_data.hex(),
+            "signature_hex": report.signature.hex(),
+        })
+        self._resume_same(core, exited)
+
+    def _op_halt(self, core, exited: Vmsa, ghcb: Ghcb,
+                 message: dict) -> None:
+        self.machine.halt(message.get("reason", "guest requested halt"))
+
+    # ------------------------------------------------------------------
+    # Automatic exits (interrupts)
+    # ------------------------------------------------------------------
+
+    def handle_automatic_exit(self, core: "VirtualCpu",
+                              reason: str) -> None:
+        """Service an automatic exit (e.g. timer interrupt).
+
+        For exits taken while an enclave (VMPL-2) was running, the Veil
+        patch relays the interrupt to DomUNT (KVM change #3); the guest
+        kernel handles it and the enclave instance is resumed.  A malicious
+        hypervisor may refuse the relay and force the interrupt into the
+        enclave context -- which halts the CVM with #NPF because the OS
+        interrupt handler is unreachable there (section 8.2).
+        """
+        exited = core.instance
+        if exited is None:
+            raise SimulationError("automatic exit with no instance")
+        self.exit_log.append(f"auto:{reason}:vmpl{exited.vmpl}")
+        if exited.vmpl != 2:
+            # Kernel/monitor context: re-enter and let the guest handle it.
+            self._enter(core, exited)
+            return
+        if self.refuse_interrupt_relay:
+            self._force_interrupt_into_enclave(core, exited)
+            return
+        target = self.vmsas.get((exited.vcpu_id, self.interrupt_relay_vmpl))
+        if target is None:
+            self.machine.halt("no DomUNT instance to relay interrupt to")
+        self._enter(core, target)
+        if self.interrupt_return_hook is not None:
+            self.interrupt_return_hook(core)
+        # Kernel done; world-switch back into the enclave instance.
+        self.machine.ledger.charge("domain_switch",
+                                   self.machine.cost.vmgexit)
+        core.hw_exit()
+        self._enter(core, exited)
+
+    def _force_interrupt_into_enclave(self, core, enc_vmsa: Vmsa) -> None:
+        """Attack path: deliver the interrupt in the enclave context.
+
+        The enclave's page tables do not map the kernel's handler, and the
+        enclave VMPL has no SEXEC rights on kernel text, so the delivery
+        faults and the CVM halts -- the defence row "Refuse interrupt
+        relay -> CVM halts with #NPF" of Table 2.
+        """
+        self._enter(core, enc_vmsa)
+        handler = self.machine.idt_handler_vaddr
+        saved_cpl = core.regs.cpl
+        core.regs.cpl = 0
+        try:
+            core.fetch(handler)
+        except (PageFault, NestedPageFault) as fault:
+            core.regs.cpl = saved_cpl
+            self.machine.halt(
+                "interrupt forced into enclave context: handler "
+                f"unreachable ({fault})", cause=fault)
+        core.regs.cpl = saved_cpl
+        self.machine.halt(
+            "interrupt forced into enclave context unexpectedly succeeded")

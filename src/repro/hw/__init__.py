@@ -1,0 +1,34 @@
+"""Simulated AMD SEV-SNP hardware substrate.
+
+This package models the architectural mechanisms Veil depends on:
+
+* :mod:`~repro.hw.memory` -- physical memory in 4 KiB pages;
+* :mod:`~repro.hw.rmp` -- the Reverse Map table with per-VMPL permissions,
+  ``RMPADJUST`` and ``PVALIDATE``;
+* :mod:`~repro.hw.vmsa` -- sealed VM Save Areas with permanent VMPLs;
+* :mod:`~repro.hw.vcpu` -- VCPU instances multiplexed on physical cores,
+  with fully checked memory access paths;
+* :mod:`~repro.hw.ghcb` -- the shared guest-hypervisor communication block;
+* :mod:`~repro.hw.pagetable` -- guest page tables (CPL-level policy);
+* :mod:`~repro.hw.cycles` -- the calibrated cycle cost model;
+* :mod:`~repro.hw.platform` -- :class:`~repro.hw.platform.SevSnpMachine`.
+"""
+
+from .cycles import CLOCK_HZ, CostModel, CycleLedger, LedgerSnapshot, \
+    cycles_to_seconds, free_cost_model
+from .ghcb import Ghcb
+from .memory import PAGE_SIZE, PhysicalMemory, page_base, page_number
+from .pagetable import GuestPageTable, PageFault, Pte
+from .platform import FrameAllocator, SevSnpMachine
+from .rmp import Access, NUM_VMPLS, Rmp, RmpEntry
+from .vcpu import VirtualCpu
+from .vmsa import GPR_NAMES, RegisterFile, Vmsa
+
+__all__ = [
+    "CLOCK_HZ", "CostModel", "CycleLedger", "LedgerSnapshot",
+    "cycles_to_seconds", "free_cost_model", "Ghcb", "PAGE_SIZE",
+    "PhysicalMemory", "page_base", "page_number", "GuestPageTable",
+    "PageFault", "Pte", "FrameAllocator", "SevSnpMachine", "Access",
+    "NUM_VMPLS", "Rmp", "RmpEntry", "VirtualCpu", "GPR_NAMES",
+    "RegisterFile", "Vmsa",
+]

@@ -1,0 +1,54 @@
+"""Guest–Hypervisor Communication Block (GHCB).
+
+A GHCB is one *shared* (unencrypted) physical page through which a VCPU
+passes explicit state to the hypervisor on non-automatic exits.  The guest
+publishes the GHCB's location by writing its physical address to the GHCB
+MSR; the hypervisor reads that MSR at exit time to find the block.
+
+Messages are structured records serialized into the page bytes, so both
+sides genuinely communicate through the simulated shared memory (and pay
+its copy costs) rather than through Python object references.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SimulationError
+from .memory import PAGE_SIZE, PhysicalMemory, page_base
+
+#: Byte length prefix for serialized messages.
+_LEN_BYTES = 4
+
+
+class Ghcb:
+    """Helper view over a shared physical page used as a GHCB."""
+
+    def __init__(self, ppn: int):
+        self.ppn = ppn
+
+    @property
+    def gpa(self) -> int:
+        return page_base(self.ppn)
+
+    # -- message passing ----------------------------------------------------
+
+    def write_message(self, mem: PhysicalMemory, message: dict) -> None:
+        """Serialize ``message`` into the GHCB page."""
+        blob = json.dumps(message, sort_keys=True).encode("utf-8")
+        if len(blob) + _LEN_BYTES > PAGE_SIZE:
+            raise SimulationError(
+                f"GHCB message of {len(blob)} bytes exceeds one page")
+        mem.write(self.gpa, len(blob).to_bytes(_LEN_BYTES, "little") + blob)
+
+    def read_message(self, mem: PhysicalMemory) -> dict:
+        """Deserialize the current message from the GHCB page."""
+        length = int.from_bytes(mem.read(self.gpa, _LEN_BYTES), "little")
+        if length == 0 or length > PAGE_SIZE - _LEN_BYTES:
+            raise SimulationError(f"GHCB holds no valid message ({length})")
+        blob = mem.read(self.gpa + _LEN_BYTES, length)
+        return json.loads(blob.decode("utf-8"))
+
+    def clear(self, mem: PhysicalMemory) -> None:
+        """Invalidate the current message."""
+        mem.write(self.gpa, b"\x00" * _LEN_BYTES)

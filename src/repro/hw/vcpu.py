@@ -1,0 +1,230 @@
+"""VCPU model: instances (permanent VMPL) multiplexed on physical cores.
+
+Terminology follows the paper:
+
+* A **VCPU instance** is a VMSA: register state plus a VMPL fixed at
+  creation time.  Veil replicates one logical VCPU into several instances,
+  one per privilege domain (section 5.2).
+
+* A :class:`VirtualCpu` is the physical execution resource.  At any moment
+  it runs exactly one instance; switching instances requires exiting to the
+  hypervisor (``VMGEXIT``) and re-entering on a different VMSA
+  (``VMENTER``), which is how Veil's hypervisor-relayed domain switch works.
+
+All guest memory access funnels through :meth:`VirtualCpu.read`,
+:meth:`write` and :meth:`fetch`, which enforce both the guest page table
+(CPL policy) and the RMP (VMPL policy).  There is no back door: the kernel,
+services, enclaves, and attack code in this reproduction all use these
+methods, so a protection bypass would require a simulator bug, not a
+missing check.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import (CvmHalted, GeneralProtectionFault, NestedPageFault,
+                      SimulationError)
+from .ghcb import Ghcb
+from .rmp import Access
+from .vmsa import RegisterFile, Vmsa
+
+if typing.TYPE_CHECKING:
+    from .platform import SevSnpMachine
+
+
+class VirtualCpu:
+    """A physical core executing one VCPU instance at a time."""
+
+    def __init__(self, machine: "SevSnpMachine", cpu_index: int):
+        self.machine = machine
+        self.cpu_index = cpu_index
+        self.instance: Vmsa | None = None
+        self.regs: RegisterFile = RegisterFile()
+        #: Number of world switches taken by this core (telemetry).
+        self.exit_count = 0
+        #: Coarse model of per-core microarchitectural state (cache/TLB
+        #: footprints): a set of owner tags left behind by executions.
+        #: An attacker sharing the core can observe which tags are
+        #: present (timing side channel) unless WBINVD cleared them.
+        self.microarch_residue: set = set()
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def vmpl(self) -> int:
+        if self.instance is None:
+            raise SimulationError("VCPU is not running any instance")
+        return self.instance.vmpl
+
+    @property
+    def cpl(self) -> int:
+        return self.regs.cpl
+
+    def set_cpl(self, cpl: int) -> None:
+        """Ring switch (e.g. SYSCALL / SYSRET).  Free-form because ring
+        transitions are an intra-instance concept; cost is charged by the
+        kernel's syscall path."""
+        if cpl not in (0, 3):
+            raise ValueError("model supports CPL-0 and CPL-3 only")
+        self.regs.cpl = cpl
+
+    # -- hardware entry/exit paths (called by the hypervisor) ----------------
+
+    def hw_enter(self, vmsa: Vmsa) -> None:
+        """VMENTER: load an instance's register state onto this core."""
+        if self.instance is not None and self.instance.running:
+            raise SimulationError(
+                f"core {self.cpu_index} asked to enter while instance "
+                f"(vcpu {self.instance.vcpu_id}, VMPL-{self.instance.vmpl}) "
+                "is still live")
+        self.instance = vmsa
+        self.regs = vmsa.restore()
+
+    def hw_exit(self) -> Vmsa:
+        """VMEXIT: seal register state back into the current VMSA."""
+        if self.instance is None:
+            raise SimulationError("exit without a running instance")
+        self.exit_count += 1
+        self.instance.save(self.regs)
+        return self.instance
+
+    # -- memory access ------------------------------------------------------
+
+    def _translate(self, vaddr: int, *, write: bool, execute: bool) -> int:
+        table = self.machine.page_table_for_root(self.regs.cr3)
+        return table.translate(vaddr, write=write, execute=execute,
+                               cpl=self.regs.cpl)
+
+    def _rmp_check(self, paddr: int, length: int, access: Access) -> None:
+        """RMP permission check; a violation is fail-stop for the CVM.
+
+        Unlike a CPL page fault (which the OS can resolve), a guest-side
+        RMP violation re-faults forever -- the paper's observable defence
+        is "the CVM halts with continuous #NPFs"."""
+        from .memory import pages_spanned
+        for ppn in pages_spanned(paddr, length):
+            try:
+                self.machine.rmp.check_access(ppn=ppn, vmpl=self.vmpl,
+                                              access=access)
+            except NestedPageFault as fault:
+                self.machine.halt(f"continuous #NPF: {fault}", cause=fault)
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        """Read guest-virtual memory with full protection checks."""
+        paddr = self._translate(vaddr, write=False, execute=False)
+        self._rmp_check(paddr, length, Access.READ)
+        return self.machine.memory.read(paddr, length)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Write guest-virtual memory with full protection checks."""
+        paddr = self._translate(vaddr, write=True, execute=False)
+        self._rmp_check(paddr, len(data), Access.WRITE)
+        self.machine.memory.write(paddr, data)
+
+    def fetch(self, vaddr: int, length: int = 16) -> bytes:
+        """Instruction fetch: checks UEXEC/SEXEC per current CPL."""
+        paddr = self._translate(vaddr, write=False, execute=True)
+        access = Access.SEXEC if self.regs.cpl == 0 else Access.UEXEC
+        self._rmp_check(paddr, length, access)
+        return self.machine.memory.read(paddr, length)
+
+    # -- physical access (used only by VMPL-0 software, which owns all
+    #    memory; still RMP-checked so the invariant holds structurally) ------
+
+    def read_phys(self, paddr: int, length: int) -> bytes:
+        """Physical read (RMP-checked at the current VMPL)."""
+        self._rmp_check(paddr, length, Access.READ)
+        return self.machine.memory.read(paddr, length)
+
+    def write_phys(self, paddr: int, data: bytes) -> None:
+        """Physical write (RMP-checked at the current VMPL)."""
+        self._rmp_check(paddr, len(data), Access.WRITE)
+        self.machine.memory.write(paddr, data)
+
+    # -- SNP instructions ------------------------------------------------------
+
+    def rmpadjust(self, *, ppn: int, target_vmpl: int, perms: Access,
+                  vmsa: bool = False) -> None:
+        """``RMPADJUST`` from this core's current VMPL (CPL-0 only)."""
+        if self.regs.cpl != 0:
+            raise GeneralProtectionFault("RMPADJUST requires CPL-0")
+        try:
+            self.machine.rmp.rmpadjust(executing_vmpl=self.vmpl, ppn=ppn,
+                                       target_vmpl=target_vmpl, perms=perms,
+                                       vmsa=vmsa)
+        except NestedPageFault as fault:
+            # Guest-side RMP violations are fail-stop for the CVM.
+            self.machine.halt(str(fault), cause=fault)
+
+    def pvalidate(self, *, ppn: int, validate: bool) -> None:
+        """``PVALIDATE``: flip a page's validated state (CPL-0)."""
+        if self.regs.cpl != 0:
+            raise GeneralProtectionFault("PVALIDATE requires CPL-0")
+        self.machine.rmp.pvalidate(executing_vmpl=self.vmpl, ppn=ppn,
+                                   validate=validate)
+
+    # -- MSRs -------------------------------------------------------------------
+
+    def wrmsr_ghcb(self, gpa: int) -> None:
+        """Publish the GHCB location (privileged write)."""
+        if self.regs.cpl != 0:
+            raise GeneralProtectionFault("WRMSR requires CPL-0")
+        self.machine.ledger.charge("msr", self.machine.cost.wrmsr)
+        self.regs.ghcb_msr = gpa
+
+    def rdmsr_ghcb(self) -> int:
+        """Read the GHCB location MSR."""
+        self.machine.ledger.charge("msr", self.machine.cost.rdmsr)
+        return self.regs.ghcb_msr
+
+    def current_ghcb(self) -> Ghcb:
+        """GHCB view for the published MSR value."""
+        if self.regs.ghcb_msr == 0:
+            raise SimulationError("GHCB MSR not initialized")
+        return Ghcb(self.regs.ghcb_msr >> 12)
+
+    # -- exits --------------------------------------------------------------------
+
+    def vmgexit(self) -> None:
+        """Non-automatic exit: hand control to the hypervisor.
+
+        The hypervisor reads this core's GHCB, services the request, and
+        re-enters the core -- possibly on a *different* VMSA (that is the
+        domain-switch path).  On return, this core's register state is
+        whatever instance the hypervisor chose to resume.
+        """
+        self.machine.ledger.charge("domain_switch", self.machine.cost.vmgexit)
+        self.hw_exit()
+        self.machine.hypervisor.handle_vmgexit(self)
+        if self.instance is None or not self.instance.running:
+            raise CvmHalted("hypervisor failed to resume the VCPU")
+
+    def automatic_exit(self, reason: str = "interrupt") -> None:
+        """Automatic exit (no GHCB protocol), e.g. a timer interrupt."""
+        self.machine.ledger.charge("exit", self.machine.cost.automatic_exit)
+        self.hw_exit()
+        self.machine.hypervisor.handle_automatic_exit(self, reason)
+
+    # -- microarchitectural state -----------------------------------------------
+
+    def taint_microarch(self, tag: str) -> None:
+        """Executions leave per-core cache/TLB footprints behind."""
+        self.microarch_residue.add(tag)
+
+    def wbinvd(self) -> None:
+        """``WBINVD``: write back + invalidate CPU structures.
+
+        Privileged (CPL-0); VeilS-ENC uses it at enclave exits to defeat
+        residue-based side channels (paper section 10, eOPF)."""
+        if self.regs.cpl != 0:
+            raise GeneralProtectionFault("WBINVD requires CPL-0")
+        self.machine.ledger.charge("wbinvd", self.machine.cost.wbinvd)
+        self.microarch_residue.clear()
+
+    # -- timers ---------------------------------------------------------------------
+
+    def rdtsc(self) -> int:
+        """Timestamp counter: the ledger's running total."""
+        self.machine.ledger.charge("compute", self.machine.cost.rdtsc)
+        return self.machine.ledger.total

@@ -1,0 +1,67 @@
+"""VM Save Area (VMSA): the sealed per-VCPU-instance register state.
+
+Each VCPU *instance* owns one VMSA, stored in a guest physical page whose
+RMP entry carries the ``vmsa`` flag (making it inaccessible to everything
+except VMPL-0 software and the hardware's own save/restore path).
+
+The VMPL recorded at VMSA creation is permanent -- this is the hardware
+property Veil's replicated-VCPU design (section 5.2) is built around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GPR_NAMES = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+
+def _zero_gprs() -> dict[str, int]:
+    return {name: 0 for name in GPR_NAMES}
+
+
+@dataclass
+class RegisterFile:
+    """Architectural register state saved and restored at world switches."""
+
+    rip: int = 0
+    cpl: int = 0
+    cr3: int = 0                     # ppn of the active page-table root
+    gprs: dict[str, int] = field(default_factory=_zero_gprs)
+    ghcb_msr: int = 0                # GHCB location MSR (gpa)
+    efer_sce: bool = True            # syscall enable; illustrative only
+
+    def copy(self) -> "RegisterFile":
+        """Deep copy of the register state."""
+        return RegisterFile(rip=self.rip, cpl=self.cpl, cr3=self.cr3,
+                            gprs=dict(self.gprs), ghcb_msr=self.ghcb_msr,
+                            efer_sce=self.efer_sce)
+
+
+@dataclass
+class Vmsa:
+    """A VM Save Area: (vcpu_id, vmpl) plus the saved register file.
+
+    ``vmpl`` is immutable after construction (enforced by convention and by
+    tests); the hardware model never exposes a mutation path.
+    """
+
+    vcpu_id: int
+    vmpl: int
+    ppn: int                          # physical page backing this VMSA
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    #: True while the instance is live on a physical VCPU (its register
+    #: state is then *in* the CPU, not the VMSA).
+    running: bool = False
+
+    def save(self, regs: RegisterFile) -> None:
+        """Hardware path: seal the given register state into the VMSA."""
+        self.regs = regs.copy()
+        self.running = False
+
+    def restore(self) -> RegisterFile:
+        """Hardware path: load register state out of the VMSA."""
+        self.running = True
+        return self.regs.copy()

@@ -1,0 +1,160 @@
+"""Filesystem persistence over the virtio block device.
+
+Serializes the in-memory filesystem to the (untrusted) host block device
+and restores it, moving every byte through a *shared bounce buffer* --
+the exact path the paper's section 5.3 delegation covers: converting the
+bounce page to shared state requires a page-state change, which routes
+``PVALIDATE`` through VeilMon on a Veil CVM.
+
+The on-disk format is a length-prefixed JSON snapshot in consecutive
+sectors starting at :data:`SUPERBLOCK_LBA`.  The host is untrusted: a
+restore validates structure but the data's confidentiality/integrity is
+exactly that of any CVM disk (out of Veil's scope; enclaves keep their
+secrets in memory or seal them).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from ..errors import KernelError
+from ..hw.memory import page_base
+from .fs import FileSystem, Inode, InodeType
+
+if typing.TYPE_CHECKING:
+    from ..hw.vcpu import VirtualCpu
+    from .kernel import Kernel
+
+SECTOR = 512
+SUPERBLOCK_LBA = 8
+MAGIC = "veil-fs-v1"
+
+
+def _serialize_tree(fs: FileSystem) -> dict:
+    """Flatten the namespace to path-keyed records (hardlink-safe)."""
+    records: dict[str, dict] = {}
+    seen_inodes: dict[int, str] = {}
+
+    def walk(node: Inode, path: str) -> None:
+        for name, child in sorted(node.children.items()):
+            child_path = f"{path}/{name}" if path != "/" else f"/{name}"
+            if child.itype == InodeType.DIR:
+                records[child_path] = {"type": "dir", "mode": child.mode}
+                walk(child, child_path)
+            elif child.itype == InodeType.FILE:
+                if child.ino in seen_inodes:
+                    records[child_path] = {
+                        "type": "hardlink",
+                        "target": seen_inodes[child.ino]}
+                else:
+                    records[child_path] = {
+                        "type": "file", "mode": child.mode,
+                        "data_hex": bytes(child.data).hex()}
+                    seen_inodes[child.ino] = child_path
+            elif child.itype == InodeType.SYMLINK:
+                records[child_path] = {"type": "symlink",
+                                       "target": child.target}
+            elif child.itype == InodeType.DEVICE:
+                records[child_path] = {"type": "device",
+                                       "device": child.device}
+            # FIFOs hold transient state; they are not persisted.
+
+    walk(fs.root, "/")
+    return {"magic": MAGIC, "records": records}
+
+
+class DiskSync:
+    """Sync/restore engine bound to one kernel."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._bounce_ppn: int | None = None
+
+    def _bounce(self, core: "VirtualCpu") -> int:
+        """Lazily set up the shared bounce page (PVALIDATE-delegated
+        page-state change under Veil)."""
+        if self._bounce_ppn is None:
+            ppn = self.kernel.mm.alloc_frame("disk-bounce")
+            self.kernel.share_page_with_host(core, ppn)
+            self._bounce_ppn = ppn
+        return self._bounce_ppn
+
+    def _write_sectors(self, core: "VirtualCpu", blob: bytes) -> int:
+        """Stream the snapshot through the bounce buffer to the disk."""
+        bounce = self._bounce(core)
+        lba = SUPERBLOCK_LBA
+        for offset in range(0, len(blob), SECTOR):
+            sector = blob[offset:offset + SECTOR].ljust(SECTOR, b"\x00")
+            # Stage in the shared page (the device "DMAs" from it)...
+            self.kernel.machine.memory.write(page_base(bounce), sector)
+            self.kernel.hypercall_io(core, {
+                "op": "io", "device": "block", "action": "write",
+                "lba": lba, "data_hex": self.kernel.machine.memory.read(
+                    page_base(bounce), SECTOR).hex()})
+            lba += 1
+        return lba - SUPERBLOCK_LBA
+
+    def _read_sectors(self, core: "VirtualCpu", count: int) -> bytes:
+        bounce = self._bounce(core)
+        blob = bytearray()
+        for index in range(count):
+            reply = self.kernel.hypercall_io(core, {
+                "op": "io", "device": "block", "action": "read",
+                "lba": SUPERBLOCK_LBA + index})
+            sector = bytes.fromhex(reply["data_hex"])
+            self.kernel.machine.memory.write(page_base(bounce), sector)
+            blob.extend(self.kernel.machine.memory.read(
+                page_base(bounce), SECTOR))
+        return bytes(blob)
+
+    # ------------------------------------------------------------------
+
+    def sync(self, core: "VirtualCpu") -> int:
+        """Persist the filesystem; returns sectors written."""
+        snapshot = json.dumps(_serialize_tree(self.kernel.fs),
+                              sort_keys=True).encode("utf-8")
+        framed = len(snapshot).to_bytes(8, "little") + snapshot
+        with self.kernel.kernel_context(core):
+            return self._write_sectors(core, framed)
+
+    def restore(self, core: "VirtualCpu") -> int:
+        """Rebuild the filesystem from disk; returns records restored."""
+        with self.kernel.kernel_context(core):
+            header = self._read_sectors(core, 1)
+            length = int.from_bytes(header[:8], "little")
+            if length == 0 or length > 64 * 1024 * 1024:
+                raise KernelError(5, "no valid filesystem snapshot")
+            total_sectors = (8 + length + SECTOR - 1) // SECTOR
+            blob = self._read_sectors(core, total_sectors)
+        snapshot = json.loads(blob[8:8 + length].decode("utf-8"))
+        if snapshot.get("magic") != MAGIC:
+            raise KernelError(5, "bad filesystem snapshot magic")
+        return self._rebuild(snapshot["records"])
+
+    def _rebuild(self, records: dict) -> int:
+        fs = FileSystem()
+        self.kernel.fs = fs
+        restored = 0
+        # Dirs first (sorted paths put parents before children).
+        for path, record in sorted(records.items()):
+            kind = record["type"]
+            if kind == "dir":
+                fs.mkdir(path, record.get("mode", 0o755))
+            elif kind == "file":
+                inode = fs.create(path, mode=record.get("mode", 0o644))
+                inode.data = bytearray(bytes.fromhex(record["data_hex"]))
+            elif kind == "symlink":
+                fs.symlink(record["target"], path)
+            elif kind == "device":
+                device = fs._new_inode(InodeType.DEVICE)
+                device.device = record["device"]
+                parent, name = fs.resolve_parent(path)
+                parent.children[name] = device
+            restored += 1
+        # Hardlinks once their targets exist.
+        for path, record in sorted(records.items()):
+            if record["type"] == "hardlink":
+                fs.link(record["target"], path)
+                restored += 1
+        return restored

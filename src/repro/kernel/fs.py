@@ -1,0 +1,359 @@
+"""In-memory filesystem for the guest kernel.
+
+A classic inode design: directories map names to inode numbers; regular
+files hold byte contents; symlinks hold target paths.  Open files are
+represented by :class:`OpenFile` descriptions that processes reference
+through their fd tables.
+
+File *contents* live in Python bytes for speed, but every syscall-level
+read/write copies through the simulated user buffer (see
+:mod:`repro.kernel.syscalls`), so protection and copy costs are faithful
+where it matters.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import KernelError
+
+# errno values used across the kernel model.
+EPERM, ENOENT, EIO, EBADF, EEXIST, ENOTDIR, EISDIR, EINVAL = \
+    1, 2, 5, 9, 17, 20, 21, 22
+ENAMETOOLONG, ELOOP, ENOTEMPTY, ESPIPE = 36, 40, 39, 29
+
+O_RDONLY, O_WRONLY, O_RDWR = 0, 1, 2
+O_ACCMODE = 3
+O_CREAT, O_EXCL, O_TRUNC, O_APPEND = 0o100, 0o200, 0o1000, 0o2000
+
+SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
+
+_MAX_SYMLINK_DEPTH = 8
+_MAX_NAME = 255
+
+
+class InodeType(enum.Enum):
+    """Kinds of filesystem object an inode can be."""
+    FILE = "file"
+    DIR = "dir"
+    SYMLINK = "symlink"
+    FIFO = "fifo"
+    DEVICE = "device"
+
+
+@dataclass
+class Inode:
+    ino: int
+    itype: InodeType
+    mode: int = 0o644
+    uid: int = 0
+    nlink: int = 1
+    data: bytearray = field(default_factory=bytearray)     # FILE
+    children: dict = field(default_factory=dict)           # DIR
+    target: str = ""                                       # SYMLINK
+    pipe: "Pipe | None" = None                             # FIFO
+    device: str = ""                                       # DEVICE
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class Pipe:
+    """Byte FIFO shared by a read end and a write end."""
+
+    def __init__(self, capacity: int = 65536):
+        self.buffer = bytearray()
+        self.capacity = capacity
+        self.read_open = True
+        self.write_open = True
+
+    def write(self, data: bytes) -> int:
+        """Append up to the remaining capacity; returns bytes taken."""
+        if not self.read_open:
+            raise KernelError(32, "EPIPE: read end closed")
+        room = self.capacity - len(self.buffer)
+        accepted = data[:room]
+        self.buffer.extend(accepted)
+        return len(accepted)
+
+    def read(self, count: int) -> bytes:
+        """Drain up to ``count`` buffered bytes."""
+        out = bytes(self.buffer[:count])
+        del self.buffer[:count]
+        return out
+
+
+@dataclass
+class OpenFile:
+    """An open file description (shared across dup'd fds)."""
+
+    inode: Inode
+    flags: int
+    offset: int = 0
+    #: For FIFO ends: which side of the pipe this description is.
+    pipe_end: str = ""
+
+    def readable(self) -> bool:
+        """Whether the open flags permit reading."""
+        return (self.flags & O_ACCMODE) in (O_RDONLY, O_RDWR)
+
+    def writable(self) -> bool:
+        """Whether the open flags permit writing."""
+        return (self.flags & O_ACCMODE) in (O_WRONLY, O_RDWR)
+
+
+class FileSystem:
+    """The mounted root filesystem."""
+
+    def __init__(self):
+        self._ino_counter = itertools.count(1)
+        self.root = self._new_inode(InodeType.DIR, mode=0o755)
+
+    # -- inode helpers --------------------------------------------------------
+
+    def _new_inode(self, itype: InodeType, mode: int = 0o644) -> Inode:
+        return Inode(ino=next(self._ino_counter), itype=itype, mode=mode)
+
+    # -- path resolution ---------------------------------------------------------
+
+    def _split(self, path: str) -> list[str]:
+        if not path or not path.startswith("/"):
+            raise KernelError(EINVAL, f"path must be absolute: {path!r}")
+        parts = [p for p in path.split("/") if p and p != "."]
+        for part in parts:
+            if len(part) > _MAX_NAME:
+                raise KernelError(ENAMETOOLONG, part)
+        return parts
+
+    def resolve(self, path: str, *, follow: bool = True,
+                _depth: int = 0) -> Inode:
+        """Resolve an absolute path to an inode."""
+        if _depth > _MAX_SYMLINK_DEPTH:
+            raise KernelError(ELOOP, path)
+        node = self.root
+        parts = self._split(path)
+        for index, part in enumerate(parts):
+            if node.itype != InodeType.DIR:
+                raise KernelError(ENOTDIR, path)
+            if part == "..":
+                # Flat model: parent tracking omitted; ".." stays at root
+                # for the root-relative paths the workloads use.
+                node = self.root
+                continue
+            child = node.children.get(part)
+            if child is None:
+                raise KernelError(ENOENT, path)
+            is_last = index == len(parts) - 1
+            if child.itype == InodeType.SYMLINK and (follow or not is_last):
+                child = self.resolve(child.target, follow=follow,
+                                     _depth=_depth + 1)
+            node = child
+        return node
+
+    def resolve_parent(self, path: str) -> tuple[Inode, str]:
+        """Resolve to (parent directory inode, final component name)."""
+        parts = self._split(path)
+        if not parts:
+            raise KernelError(EINVAL, "cannot operate on /")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self.resolve(parent_path) if parts[:-1] else self.root
+        if parent.itype != InodeType.DIR:
+            raise KernelError(ENOTDIR, path)
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        """Whether a path resolves."""
+        try:
+            self.resolve(path)
+            return True
+        except KernelError:
+            return False
+
+    # -- namespace operations ------------------------------------------------------
+
+    def create(self, path: str, *, mode: int = 0o644,
+               exclusive: bool = False) -> Inode:
+        """Create (or reuse) a regular file; returns its inode."""
+        parent, name = self.resolve_parent(path)
+        existing = parent.children.get(name)
+        if existing is not None:
+            if exclusive:
+                raise KernelError(EEXIST, path)
+            if existing.itype == InodeType.DIR:
+                raise KernelError(EISDIR, path)
+            return existing
+        inode = self._new_inode(InodeType.FILE, mode)
+        parent.children[name] = inode
+        return inode
+
+    def mkdir(self, path: str, mode: int = 0o755) -> Inode:
+        """Create a directory."""
+        parent, name = self.resolve_parent(path)
+        if name in parent.children:
+            raise KernelError(EEXIST, path)
+        inode = self._new_inode(InodeType.DIR, mode)
+        parent.children[name] = inode
+        return inode
+
+    def mknod_fifo(self, path: str) -> Inode:
+        """Create a named FIFO."""
+        parent, name = self.resolve_parent(path)
+        if name in parent.children:
+            raise KernelError(EEXIST, path)
+        inode = self._new_inode(InodeType.FIFO)
+        inode.pipe = Pipe()
+        parent.children[name] = inode
+        return inode
+
+    def symlink(self, target: str, linkpath: str) -> Inode:
+        """Create a symbolic link."""
+        parent, name = self.resolve_parent(linkpath)
+        if name in parent.children:
+            raise KernelError(EEXIST, linkpath)
+        inode = self._new_inode(InodeType.SYMLINK)
+        inode.target = target
+        parent.children[name] = inode
+        return inode
+
+    def link(self, oldpath: str, newpath: str) -> None:
+        """Create a hard link (bumps nlink)."""
+        inode = self.resolve(oldpath, follow=False)
+        if inode.itype == InodeType.DIR:
+            raise KernelError(EPERM, "hard link to directory")
+        parent, name = self.resolve_parent(newpath)
+        if name in parent.children:
+            raise KernelError(EEXIST, newpath)
+        parent.children[name] = inode
+        inode.nlink += 1
+
+    def unlink(self, path: str) -> None:
+        """Remove a non-directory name."""
+        parent, name = self.resolve_parent(path)
+        inode = parent.children.get(name)
+        if inode is None:
+            raise KernelError(ENOENT, path)
+        if inode.itype == InodeType.DIR:
+            raise KernelError(EISDIR, path)
+        del parent.children[name]
+        inode.nlink -= 1
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        parent, name = self.resolve_parent(path)
+        inode = parent.children.get(name)
+        if inode is None:
+            raise KernelError(ENOENT, path)
+        if inode.itype != InodeType.DIR:
+            raise KernelError(ENOTDIR, path)
+        if inode.children:
+            raise KernelError(ENOTEMPTY, path)
+        del parent.children[name]
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        """Move a name, replacing any existing target."""
+        old_parent, old_name = self.resolve_parent(oldpath)
+        inode = old_parent.children.get(old_name)
+        if inode is None:
+            raise KernelError(ENOENT, oldpath)
+        new_parent, new_name = self.resolve_parent(newpath)
+        new_parent.children[new_name] = inode
+        del old_parent.children[old_name]
+
+    def listdir(self, path: str) -> list[str]:
+        """Sorted child names of a directory."""
+        inode = self.resolve(path)
+        if inode.itype != InodeType.DIR:
+            raise KernelError(ENOTDIR, path)
+        return sorted(inode.children)
+
+    # -- file I/O ---------------------------------------------------------------------
+
+    def open(self, path: str, flags: int, mode: int = 0o644) -> OpenFile:
+        """Open (honouring O_CREAT/O_EXCL/O_TRUNC); returns a description."""
+        if flags & O_CREAT:
+            inode = self.create(path, mode=mode,
+                                exclusive=bool(flags & O_EXCL))
+        else:
+            inode = self.resolve(path)
+        if inode.itype == InodeType.DIR and (flags & O_ACCMODE) != O_RDONLY:
+            raise KernelError(EISDIR, path)
+        handle = OpenFile(inode=inode, flags=flags)
+        if inode.itype == InodeType.FILE and flags & O_TRUNC and \
+                handle.writable():
+            inode.data = bytearray()
+        if inode.itype == InodeType.FIFO:
+            handle.pipe_end = "write" if handle.writable() else "read"
+        return handle
+
+    def read(self, handle: OpenFile, count: int) -> bytes:
+        """Read from the description's offset."""
+        if not handle.readable():
+            raise KernelError(EBADF, "not open for reading")
+        inode = handle.inode
+        if inode.itype == InodeType.FIFO:
+            assert inode.pipe is not None
+            return inode.pipe.read(count)
+        if inode.itype == InodeType.DIR:
+            raise KernelError(EISDIR, "read on directory")
+        data = bytes(inode.data[handle.offset:handle.offset + count])
+        handle.offset += len(data)
+        return data
+
+    def write(self, handle: OpenFile, data: bytes) -> int:
+        """Write at the description's offset (O_APPEND honoured)."""
+        if not handle.writable():
+            raise KernelError(EBADF, "not open for writing")
+        inode = handle.inode
+        if inode.itype == InodeType.FIFO:
+            assert inode.pipe is not None
+            return inode.pipe.write(data)
+        if handle.flags & O_APPEND:
+            handle.offset = inode.size
+        end = handle.offset + len(data)
+        if end > inode.size:
+            inode.data.extend(b"\x00" * (end - inode.size))
+        inode.data[handle.offset:end] = data
+        handle.offset = end
+        return len(data)
+
+    def lseek(self, handle: OpenFile, offset: int, whence: int) -> int:
+        """Reposition a description's offset."""
+        if handle.inode.itype == InodeType.FIFO:
+            raise KernelError(ESPIPE, "seek on pipe")
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = handle.offset + offset
+        elif whence == SEEK_END:
+            new = handle.inode.size + offset
+        else:
+            raise KernelError(EINVAL, f"whence {whence}")
+        if new < 0:
+            raise KernelError(EINVAL, "negative offset")
+        handle.offset = new
+        return new
+
+    def truncate(self, path_or_handle, length: int) -> None:
+        """Resize a file (by path or open description)."""
+        if length < 0:
+            raise KernelError(EINVAL, "negative length")
+        if isinstance(path_or_handle, str):
+            inode = self.resolve(path_or_handle)
+        else:
+            inode = path_or_handle.inode
+        if inode.itype != InodeType.FILE:
+            raise KernelError(EINVAL, "truncate on non-file")
+        if length <= inode.size:
+            del inode.data[length:]
+        else:
+            inode.data.extend(b"\x00" * (length - inode.size))
+
+    def stat(self, path: str) -> dict:
+        """Metadata for a path."""
+        inode = self.resolve(path)
+        return {"ino": inode.ino, "type": inode.itype.value,
+                "size": inode.size, "mode": inode.mode,
+                "nlink": inode.nlink}

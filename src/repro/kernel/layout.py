@@ -1,0 +1,58 @@
+"""Guest virtual-memory layout constants.
+
+A simplified x86-64-style split:
+
+* user space occupies the low canonical half;
+* the kernel lives in the high half with a direct (linear) mapping of all
+  physical memory plus a dedicated text region.
+
+Veil-specific reserved regions (monitor image, service image, log storage)
+are carved from physical memory at boot by :mod:`repro.core.boot`; their
+*physical* placement is what VMPL protection applies to.
+"""
+
+from __future__ import annotations
+
+from ..hw.memory import PAGE_SHIFT, PAGE_SIZE
+
+# ---- user space -----------------------------------------------------------
+USER_CODE_BASE = 0x0000_0000_0040_0000
+USER_HEAP_BASE = 0x0000_0000_1000_0000
+USER_MMAP_BASE = 0x0000_0000_4000_0000
+USER_STACK_TOP = 0x0000_0000_7fff_f000
+USER_SPACE_END = 0x0000_0000_8000_0000
+
+# ---- enclave region (inside the process address space) ---------------------
+ENCLAVE_BASE = 0x0000_0000_2000_0000
+ENCLAVE_MAX_BYTES = 0x0000_0000_1000_0000     # 256 MiB window
+
+# ---- kernel space ------------------------------------------------------------
+KERNEL_TEXT_BASE = 0xffff_ffff_8000_0000
+KERNEL_DATA_BASE = 0xffff_ffff_9000_0000
+KERNEL_MODULE_BASE = 0xffff_ffff_a000_0000
+KERNEL_DIRECT_BASE = 0xffff_8880_0000_0000    # direct map of all phys mem
+
+#: Size of the kernel's text region in pages (models vmlinux text).
+KERNEL_TEXT_PAGES = 512
+#: Static kernel data pages.
+KERNEL_DATA_PAGES = 256
+
+
+def direct_map_vaddr(paddr: int) -> int:
+    """Kernel-direct-map virtual address of a physical byte address."""
+    return KERNEL_DIRECT_BASE + paddr
+
+
+def vpn(vaddr: int) -> int:
+    """Virtual page number of an address."""
+    return vaddr >> PAGE_SHIFT
+
+
+def page_aligned(addr: int) -> bool:
+    """Whether an address is page-aligned."""
+    return (addr & (PAGE_SIZE - 1)) == 0
+
+
+def align_up(addr: int) -> int:
+    """Round an address up to the next page boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)

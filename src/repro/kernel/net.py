@@ -1,0 +1,156 @@
+"""Loopback network stack: AF_INET stream sockets and socketpairs.
+
+Enough of a sockets layer to support the paper's workloads (lighttpd,
+NGINX, memcached models): bind/listen/accept/connect plus buffered
+send/recv over an in-kernel loopback.  Connections are synchronous --
+``connect`` immediately queues on the listener's backlog and ``accept``
+pops it -- because the workloads are closed-loop benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import KernelError
+
+AF_INET = 2
+AF_UNIX = 1
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+EADDRINUSE, ECONNREFUSED, ENOTCONN, EOPNOTSUPP = 98, 111, 107, 95
+EINVAL = 22
+
+
+class SocketState(enum.Enum):
+    """Lifecycle states of a kernel socket."""
+    NEW = "new"
+    BOUND = "bound"
+    LISTENING = "listening"
+    CONNECTED = "connected"
+    CLOSED = "closed"
+
+
+@dataclass
+class Endpoint:
+    """One direction of a connection: bytes this endpoint can read."""
+
+    rx: bytearray = field(default_factory=bytearray)
+    peer_closed: bool = False
+
+
+class Socket:
+    """A kernel socket object (referenced by fds via OpenSocket)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, family: int, stype: int):
+        if family not in (AF_INET, AF_UNIX):
+            raise KernelError(EINVAL, f"unsupported family {family}")
+        if stype not in (SOCK_STREAM, SOCK_DGRAM):
+            raise KernelError(EINVAL, f"unsupported type {stype}")
+        self.sock_id = next(Socket._ids)
+        self.family = family
+        self.stype = stype
+        self.state = SocketState.NEW
+        self.addr: tuple[str, int] | None = None
+        self.backlog: list["Socket"] = []
+        self.backlog_limit = 0
+        self.endpoint: Endpoint | None = None
+        self.peer: "Socket | None" = None
+
+    # -- data path -------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        """Queue bytes on the peer's receive buffer."""
+        if self.state != SocketState.CONNECTED or self.peer is None:
+            raise KernelError(ENOTCONN, "send on unconnected socket")
+        assert self.peer.endpoint is not None
+        self.peer.endpoint.rx.extend(data)
+        return len(data)
+
+    def recv(self, count: int) -> bytes:
+        """Drain up to ``count`` received bytes."""
+        if self.endpoint is None:
+            raise KernelError(ENOTCONN, "recv on unconnected socket")
+        data = bytes(self.endpoint.rx[:count])
+        del self.endpoint.rx[:count]
+        return data
+
+    def close(self) -> None:
+        """Close this endpoint, flagging the peer."""
+        if self.peer is not None and self.peer.endpoint is not None:
+            self.peer.endpoint.peer_closed = True
+        self.state = SocketState.CLOSED
+
+
+class NetworkStack:
+    """The kernel's loopback network."""
+
+    def __init__(self):
+        self._listeners: dict[tuple[str, int], Socket] = {}
+        self._bound: set[tuple[str, int]] = set()
+
+    def socket(self, family: int, stype: int) -> Socket:
+        """Create an unconnected socket."""
+        return Socket(family, stype)
+
+    def bind(self, sock: Socket, addr: str, port: int) -> None:
+        """Reserve (addr, port) for a socket."""
+        if sock.state not in (SocketState.NEW,):
+            raise KernelError(EINVAL, "bind on used socket")
+        if (addr, port) in self._bound:
+            raise KernelError(EADDRINUSE, f"{addr}:{port}")
+        sock.addr = (addr, port)
+        sock.state = SocketState.BOUND
+        self._bound.add((addr, port))
+
+    def listen(self, sock: Socket, backlog: int) -> None:
+        """Start accepting on a bound socket."""
+        if sock.state != SocketState.BOUND or sock.addr is None:
+            raise KernelError(EINVAL, "listen on unbound socket")
+        sock.state = SocketState.LISTENING
+        sock.backlog_limit = max(1, backlog)
+        self._listeners[sock.addr] = sock
+
+    def connect(self, sock: Socket, addr: str, port: int) -> None:
+        """Queue a connection on a listener's backlog."""
+        listener = self._listeners.get((addr, port))
+        if listener is None or listener.state != SocketState.LISTENING:
+            raise KernelError(ECONNREFUSED, f"{addr}:{port}")
+        if len(listener.backlog) >= listener.backlog_limit:
+            raise KernelError(ECONNREFUSED, "backlog full")
+        server_side = Socket(sock.family, sock.stype)
+        self._pair(sock, server_side)
+        listener.backlog.append(server_side)
+
+    def accept(self, listener: Socket) -> Socket:
+        """Pop a pending connection."""
+        if listener.state != SocketState.LISTENING:
+            raise KernelError(EINVAL, "accept on non-listening socket")
+        if not listener.backlog:
+            raise KernelError(11, "EAGAIN: no pending connection")
+        return listener.backlog.pop(0)
+
+    def socketpair(self, family: int = AF_UNIX,
+                   stype: int = SOCK_STREAM) -> tuple[Socket, Socket]:
+        """Create a connected pair directly."""
+        left = Socket(family, stype)
+        right = Socket(family, stype)
+        self._pair(left, right)
+        return left, right
+
+    @staticmethod
+    def _pair(a: Socket, b: Socket) -> None:
+        a.endpoint = Endpoint()
+        b.endpoint = Endpoint()
+        a.peer, b.peer = b, a
+        a.state = b.state = SocketState.CONNECTED
+
+    def unbind(self, sock: Socket) -> None:
+        """Release a socket's (addr, port) reservation."""
+        if sock.addr is not None:
+            self._listeners.pop(sock.addr, None)
+            self._bound.discard(sock.addr)

@@ -1,0 +1,126 @@
+"""Attacker primitives after a kernel compromise.
+
+The paper's threat model (section 4.1) assumes the attacker eventually
+obtains arbitrary kernel-privilege execution.  :class:`AttackerContext`
+grants exactly that: every primitive here runs with the kernel's CPL-0
+context on its VMPL -- and *nothing more*.  Whether an attack succeeds is
+then decided by the simulated hardware (RMP checks) and Veil's software
+checks, which is the property the section 8 experiments validate.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import CvmHalted, GeneralProtectionFault, InvalidInstruction
+from ..hw.memory import PAGE_SIZE
+from ..hw.rmp import Access
+from . import layout
+
+if typing.TYPE_CHECKING:
+    from ..hw.vcpu import VirtualCpu
+    from .kernel import Kernel
+
+
+class AttackerContext:
+    """Arbitrary kernel-privilege read/write/execute primitives."""
+
+    def __init__(self, kernel: "Kernel", core: "VirtualCpu"):
+        self.kernel = kernel
+        self.core = core
+
+    # -- raw memory primitives (kernel context, RMP-checked) ----------------
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        """Kernel-context virtual read (RMP still applies)."""
+        with self.kernel.kernel_context(self.core) as core:
+            return core.read(vaddr, length)
+
+    def write_virt(self, vaddr: int, data: bytes) -> None:
+        """Kernel-context virtual write (RMP still applies)."""
+        with self.kernel.kernel_context(self.core) as core:
+            core.write(vaddr, data)
+
+    def read_phys(self, paddr: int, length: int) -> bytes:
+        """Read physical memory through the kernel direct map."""
+        return self.read_virt(layout.direct_map_vaddr(paddr), length)
+
+    def write_phys(self, paddr: int, data: bytes) -> None:
+        """Write physical memory through the kernel direct map."""
+        self.write_virt(layout.direct_map_vaddr(paddr), data)
+
+    # -- page-table manipulation (the "write gadget" attacks) -----------------
+
+    def map_foreign_page(self, ppn: int, *, writable: bool = True) -> int:
+        """Map an arbitrary physical page into the kernel address space.
+
+        Always *succeeds* (the kernel owns its page tables); accessing the
+        mapping is what the RMP may veto.  Returns the chosen vaddr.
+        """
+        table = self.kernel.kernel_table
+        assert table is not None
+        vaddr = 0xffff_ffff_c000_0000 + ppn * PAGE_SIZE
+        table.map(layout.vpn(vaddr), ppn, writable=writable, user=False,
+                  nx=True)
+        return vaddr
+
+    def disable_pt_write_protection(self, vaddr: int) -> None:
+        """Flip a kernel PTE writable (modeling a write gadget that unsets
+        W^X bits in the kernel's own page tables)."""
+        table = self.kernel.kernel_table
+        assert table is not None
+        table.protect(layout.vpn(vaddr), writable=True, nx=False)
+
+    # -- VMPL / VMSA attacks --------------------------------------------------
+
+    def try_rmpadjust(self, ppn: int, *, target_vmpl: int,
+                      perms: Access = Access.all()):
+        """Attempt RMPADJUST from the (compromised) kernel's VMPL.
+
+        Returns the exception describing why the hardware refused, since
+        under Veil this must never succeed (Table 1 row 2).
+        """
+        with self.kernel.kernel_context(self.core) as core:
+            try:
+                core.rmpadjust(ppn=ppn, target_vmpl=target_vmpl,
+                               perms=perms)
+            except (InvalidInstruction, GeneralProtectionFault,
+                    CvmHalted) as denied:
+                return denied
+        return None
+
+    def try_spawn_vcpu_at_vmpl(self, vcpu_id: int, vmpl: int) -> None:
+        """Attempt to forge a VCPU instance at a privileged VMPL.
+
+        The attacker crafts a fake "VMSA" in a page it controls and asks
+        the hypervisor to register and start it.  The enter path validates
+        the RMP's VMSA marking, which only RMPADJUST (denied above) can
+        set, so the CVM halts.
+        """
+        fake_ppn = self.kernel.mm.alloc_frame("fake-vmsa")
+        with self.kernel.kernel_context(self.core) as core:
+            ghcb = core.current_ghcb()
+            ghcb.write_message(self.kernel.machine.memory, {
+                "op": "register_vmsa", "vmsa_ppn": fake_ppn})
+            core.vmgexit()
+
+    # -- audit-log tampering ------------------------------------------------------
+
+    def tamper_audit_storage(self) -> str:
+        """Attempt to rewrite stored audit records.
+
+        Returns ``"tampered"`` if the storage was modified (the unprotected
+        Kaudit baseline), otherwise the hardware fault propagates.
+        """
+        from .audit import InMemoryAuditSink
+        sink = self.kernel.audit.sink
+        if isinstance(sink, InMemoryAuditSink):
+            if not sink.records:
+                raise ValueError("no records to tamper with")
+            sink.tamper(0, b'{"forged": true}')
+            return "tampered"
+        # VeilS-LOG sink: storage lives in DomSER physical pages.  Write
+        # through the direct map -- the RMP will fault and halt the CVM.
+        storage_ppn = getattr(sink, "storage_ppns")[0]
+        self.write_phys(storage_ppn * PAGE_SIZE, b'{"forged": true}')
+        return "tampered"

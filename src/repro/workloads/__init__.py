@@ -1,0 +1,16 @@
+"""Workload models for the paper's evaluation programs."""
+
+from .audit_programs import AUDITED_PROGRAMS, AuditedProgram, \
+    audited_program_by_name
+from .base import AppApi, EnclaveApi, NativeApi, RunStats, measure
+from .programs import ENCLAVE_PROGRAMS, EnclaveProgram, program_by_name
+from .spec import SPEC_WORKLOADS, BackgroundWorkload
+from .syscall_bench import SYSCALL_BENCHES, SyscallBench, run_bench
+
+__all__ = [
+    "AUDITED_PROGRAMS", "AuditedProgram", "audited_program_by_name",
+    "AppApi", "EnclaveApi", "NativeApi", "RunStats", "measure",
+    "ENCLAVE_PROGRAMS", "EnclaveProgram", "program_by_name",
+    "SPEC_WORKLOADS", "BackgroundWorkload", "SYSCALL_BENCHES",
+    "SyscallBench", "run_bench",
+]

@@ -1,0 +1,50 @@
+"""Security validation: every Table 1 / Table 2 / section 8.3 attack."""
+
+import pytest
+
+from repro.attacks import (TABLE1_ATTACKS, TABLE2_ATTACKS,
+                           attack_tamper_kaudit_baseline,
+                           attack_tamper_veils_log,
+                           validation_attack_module_text,
+                           validation_attack_monitor_page_tables)
+
+
+@pytest.mark.parametrize("attack", TABLE1_ATTACKS,
+                         ids=lambda a: a.__name__)
+def test_table1_attack_defended(attack):
+    result = attack(None)
+    assert result.defended, str(result)
+
+
+@pytest.mark.parametrize("attack", TABLE2_ATTACKS,
+                         ids=lambda a: a.__name__)
+def test_table2_attack_defended(attack):
+    result = attack(None)
+    assert result.defended, str(result)
+
+
+def test_kaudit_baseline_is_tamperable():
+    """The unprotected baseline *must* be breachable -- that is the
+    motivation for VeilS-LOG (section 6.3)."""
+    result = attack_tamper_kaudit_baseline(None)
+    assert not result.defended
+    assert "rewritten=True" in result.detail
+
+
+def test_veils_log_tampering_defended():
+    result = attack_tamper_veils_log(None)
+    assert result.defended, str(result)
+
+
+def test_validation_attack_monitor_page_tables():
+    """Section 8.3 attack 1: the CVM halts with continuous #NPFs."""
+    result = validation_attack_monitor_page_tables(None)
+    assert result.defended, str(result)
+    assert "#NPF" in result.detail
+
+
+def test_validation_attack_module_text():
+    """Section 8.3 attack 2: W^X survives page-table bit flipping."""
+    result = validation_attack_module_text(None)
+    assert result.defended, str(result)
+    assert "#NPF" in result.detail

@@ -1,0 +1,39 @@
+"""Unit tests: ASCII chart renderers."""
+
+from repro.bench.charts import chart_fig4, chart_fig5, chart_fig6
+from repro.bench.harness import Fig4Row, Fig5Row, Fig6Row
+
+
+class TestCharts:
+    def test_fig4_bars_scale_with_slowdown(self):
+        rows = [Fig4Row("alpha", 1000, 2000),
+                Fig4Row("bravo", 1000, 8000)]
+        chart = chart_fig4(rows)
+        fast_bar = next(l for l in chart.splitlines() if "alpha" in l)
+        slow_bar = next(l for l in chart.splitlines() if "bravo" in l)
+        assert slow_bar.count("#") > fast_bar.count("#")
+        assert "2.0x" in fast_bar and "8.0x" in slow_bar
+
+    def test_fig5_stacked_split(self):
+        rows = [Fig5Row("App", 1_000_000, 1_400_000, 10, 0, 300_000)]
+        chart = chart_fig5(rows)
+        bar = next(l for l in chart.splitlines() if "App" in l)
+        # 30% exit + 10% redirect of a 40% bar: both glyphs present,
+        # exit part larger.
+        assert bar.count("#") > bar.count("=") > 0
+        assert "40.0%" in bar
+
+    def test_fig6_pairs_of_bars(self):
+        rows = [Fig6Row("NGINX", 100, 104, 116, 5)]
+        chart = chart_fig6(rows)
+        lines = [l for l in chart.splitlines() if "%" in l]
+        assert any("=" in l and "4.0%" in l for l in lines)
+        assert any("#" in l and "16.0%" in l for l in lines)
+
+    def test_charts_mention_paper_bands(self):
+        rows4 = [Fig4Row("open", 1000, 5000)]
+        rows5 = [Fig5Row("A", 100, 150, 1, 0, 10)]
+        rows6 = [Fig6Row("A", 100, 105, 110, 1)]
+        assert "3.3x" in chart_fig4(rows4)
+        assert "63.9%" in chart_fig5(rows5)
+        assert "18.7%" in chart_fig6(rows6)

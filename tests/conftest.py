@@ -1,0 +1,45 @@
+"""Shared fixtures for the Veil reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VeilConfig, boot_native_system, boot_veil_system
+from repro.hw import SevSnpMachine
+
+SMALL_CONFIG = VeilConfig(memory_bytes=32 * 1024 * 1024, num_cores=2,
+                          log_storage_pages=64)
+
+
+@pytest.fixture
+def machine() -> SevSnpMachine:
+    """A bare SEV-SNP machine (16 MiB, 2 cores)."""
+    return SevSnpMachine(memory_bytes=16 * 1024 * 1024, num_cores=2)
+
+
+@pytest.fixture
+def veil():
+    """A fully booted Veil CVM (fresh per test)."""
+    return boot_veil_system(SMALL_CONFIG)
+
+
+@pytest.fixture
+def native():
+    """A native CVM baseline (fresh per test)."""
+    return boot_native_system(SMALL_CONFIG)
+
+
+@pytest.fixture
+def native_proc(native):
+    """(system, core, process) triple on the native CVM."""
+    proc = native.kernel.create_process("test-proc")
+    core = native.boot_core
+    return native, core, proc
+
+
+@pytest.fixture
+def veil_proc(veil):
+    """(system, core, process) triple on the Veil CVM."""
+    proc = veil.kernel.create_process("test-proc")
+    core = veil.boot_core
+    return veil, core, proc

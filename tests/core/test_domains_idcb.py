@@ -1,0 +1,72 @@
+"""Unit tests: privilege domains and IDCBs."""
+
+import pytest
+
+from repro.core.domains import (ALL_DOMAINS, DOM_ENC, DOM_MON, DOM_SER,
+                                DOM_UNT, domain_for_vmpl)
+from repro.core.idcb import Idcb
+from repro.errors import SimulationError
+from repro.hw.cycles import CycleLedger, free_cost_model
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+class TestDomains:
+    def test_paper_assignments(self):
+        assert (DOM_MON.vmpl, DOM_MON.cpl) == (0, 0)
+        assert (DOM_SER.vmpl, DOM_SER.cpl) == (1, 0)
+        assert (DOM_ENC.vmpl, DOM_ENC.cpl) == (2, 3)
+        assert DOM_UNT.vmpl == 3
+
+    def test_domains_cover_all_vmpls(self):
+        assert sorted(d.vmpl for d in ALL_DOMAINS) == [0, 1, 2, 3]
+
+    def test_lookup_by_vmpl(self):
+        assert domain_for_vmpl(2) is DOM_ENC
+        with pytest.raises(ValueError):
+            domain_for_vmpl(4)
+
+    def test_str_rendering(self):
+        assert "VMPL-0" in str(DOM_MON)
+
+
+class TestIdcb:
+    def make(self, pages: int = 2):
+        mem = PhysicalMemory(16 * PAGE_SIZE, cost=free_cost_model(),
+                             ledger=CycleLedger())
+        idcb = Idcb(list(range(4, 4 + pages)), low_vmpl=3, high_vmpl=0)
+        return mem, idcb
+
+    def test_request_reply_slots_independent(self):
+        mem, idcb = self.make()
+        idcb.write_request(mem, {"op": "ping"})
+        idcb.write_reply(mem, {"status": "ok"})
+        assert idcb.read_request(mem) == {"op": "ping"}
+        assert idcb.read_reply(mem) == {"status": "ok"}
+
+    def test_empty_slot_rejected(self):
+        mem, idcb = self.make()
+        with pytest.raises(SimulationError):
+            idcb.read_request(mem)
+
+    def test_large_message_spans_pages(self):
+        mem, idcb = self.make(pages=4)
+        payload = {"data": "x" * 6000}
+        idcb.write_request(mem, payload)
+        assert idcb.read_request(mem) == payload
+
+    def test_oversized_message_rejected(self):
+        mem, idcb = self.make(pages=2)
+        with pytest.raises(SimulationError):
+            idcb.write_request(mem, {"data": "x" * (PAGE_SIZE * 2)})
+
+    def test_single_int_constructor(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE, cost=free_cost_model(),
+                             ledger=CycleLedger())
+        idcb = Idcb(3, low_vmpl=3, high_vmpl=1)
+        assert idcb.ppns == [3]
+        idcb.write_request(mem, {"op": "x"})
+        assert idcb.read_request(mem)["op"] == "x"
+
+    def test_empty_page_list_rejected(self):
+        with pytest.raises(SimulationError):
+            Idcb([], low_vmpl=3, high_vmpl=0)

@@ -1,0 +1,86 @@
+"""Framework extensibility: registering custom protected services."""
+
+import pytest
+
+from repro.core import VeilConfig, boot_veil_system
+from repro.core.services.base import ProtectedService
+from repro.errors import CvmHalted, SecurityViolation
+from repro.hw.memory import page_base
+
+
+class EchoService(ProtectedService):
+    name = "veils-echo"
+    IMAGE_PAGES = 2
+
+    def __init__(self, veilmon):
+        super().__init__(veilmon)
+        self.state_ppns = veilmon.reserve_protected_frames(1, "echo")
+
+    def handlers(self):
+        return {"echo_put": self.handle_put,
+                "echo_get_length": self.handle_get_length}
+
+    def handle_put(self, core, request):
+        blob = bytes.fromhex(request["data_hex"])
+        core.write_phys(page_base(self.state_ppns[0]), blob)
+        self._length = len(blob)
+        return {"status": "ok"}
+
+    def handle_get_length(self, core, request):
+        return {"status": "ok", "length": getattr(self, "_length", 0)}
+
+
+@pytest.fixture
+def system():
+    return boot_veil_system(VeilConfig(
+        memory_bytes=32 * 1024 * 1024, num_cores=2,
+        log_storage_pages=64,
+        extra_services=(("echo", EchoService),)))
+
+
+class TestCustomService:
+    def test_registered_alongside_builtins(self, system):
+        assert set(system.veilmon.services) >= {
+            "veils-kci", "veils-enc", "veils-log", "veils-echo"}
+
+    def test_name_changes_boot_measurement(self):
+        plain = boot_veil_system(VeilConfig(
+            memory_bytes=32 * 1024 * 1024, num_cores=2,
+            log_storage_pages=64))
+        extended = boot_veil_system(VeilConfig(
+            memory_bytes=32 * 1024 * 1024, num_cores=2,
+            log_storage_pages=64,
+            extra_services=(("echo", EchoService),)))
+        assert plain.expected_measurement() != \
+            extended.expected_measurement()
+
+    def test_requests_dispatch_at_domser(self, system):
+        core = system.boot_core
+        system.gateway.call_service(core, {
+            "op": "echo_put", "data_hex": b"custom-state".hex()})
+        reply = system.gateway.call_service(core,
+                                            {"op": "echo_get_length"})
+        assert reply["length"] == 12
+
+    def test_state_protected_from_kernel(self, system):
+        core = system.boot_core
+        system.gateway.call_service(core, {
+            "op": "echo_put", "data_hex": b"secret".hex()})
+        attacker = system.kernel.compromise(core)
+        service = system.veilmon.services["veils-echo"]
+        with pytest.raises(CvmHalted):
+            attacker.read_phys(service.state_ppns[0] * 4096, 6)
+
+    def test_duplicate_handler_names_rejected(self):
+        class Clashing(ProtectedService):
+            name = "veils-clash"
+
+            def handlers(self):
+                return {"log_append": lambda core, req: {}}
+
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            boot_veil_system(VeilConfig(
+                memory_bytes=32 * 1024 * 1024, num_cores=2,
+                log_storage_pages=64,
+                extra_services=(("clash", Clashing),)))

@@ -1,0 +1,136 @@
+"""Integration tests: VeilS-LOG (tamper-proof audit logging)."""
+
+import json
+
+import pytest
+
+from repro.errors import CvmHalted, SecurityViolation
+from repro.kernel.fs import O_CREAT, O_RDWR
+
+
+@pytest.fixture
+def logging_on(veil):
+    veil.integration.enable_protected_logging()
+    return veil
+
+
+def do_audited_work(system, count: int = 3):
+    core = system.boot_core
+    proc = system.kernel.create_process("worker")
+    for index in range(count):
+        fd = system.kernel.syscall(core, proc, "open",
+                                   f"/tmp/audited-{index}",
+                                   O_CREAT | O_RDWR)
+        system.kernel.syscall(core, proc, "close", fd)
+
+
+class TestAppendPath:
+    def test_syscalls_produce_protected_entries(self, logging_on):
+        do_audited_work(logging_on, count=3)
+        # open + close are both in the default ruleset.
+        assert logging_on.log.entry_count == 6
+
+    def test_entries_stored_verbatim(self, logging_on):
+        user = logging_on.attest_and_connect()
+        do_audited_work(logging_on, count=1)
+        reply = logging_on.gateway.call_service(
+            logging_on.boot_core, {"op": "log_export"})
+        payload = user.channel.receive(bytes.fromhex(
+            reply["record_hex"]))
+        records = [json.loads(blob) for blob in payload["logs"]]
+        assert records[0]["detail"]["syscall"] == "open"
+
+    def test_execute_ahead_record_precedes_event(self, logging_on):
+        """The record lands in protected storage before the syscall body
+        runs (execute-ahead, section 6.3)."""
+        system = logging_on
+        core = system.boot_core
+        proc = system.kernel.create_process("worker")
+        observed = []
+        original = system.kernel.fs.open
+
+        def spy(path, flags, mode=0o644):
+            observed.append(system.log.entry_count)
+            return original(path, flags, mode)
+
+        system.kernel.fs.open = spy
+        try:
+            system.kernel.syscall(core, proc, "open", "/tmp/ahead",
+                                  O_CREAT | O_RDWR)
+        finally:
+            system.kernel.fs.open = original
+        assert observed == [1]
+
+    def test_storage_full_reported(self, logging_on):
+        service = logging_on.log
+        service.write_offset = service.capacity_bytes - 8
+        reply = logging_on.gateway.call_service(
+            logging_on.boot_core,
+            {"op": "log_append", "record_hex": (b"x" * 64).hex()})
+        assert reply["status"] == "full"
+        assert service.dropped == 1
+
+    def test_append_charges_domain_switches(self, logging_on):
+        before = logging_on.machine.ledger.category("domain_switch")
+        do_audited_work(logging_on, count=1)
+        charged = logging_on.machine.ledger.category("domain_switch") - \
+            before
+        # 2 entries, each a full round trip (2 switches).
+        assert charged >= 2 * 2 * logging_on.machine.cost.domain_switch
+
+
+class TestProtection:
+    def test_storage_unreadable_from_domunt(self, logging_on):
+        do_audited_work(logging_on, count=1)
+        attacker = logging_on.kernel.compromise(logging_on.boot_core)
+        with pytest.raises(CvmHalted):
+            attacker.read_phys(logging_on.log.storage_ppns[0] << 12, 16)
+
+    def test_clear_requires_user_authorization(self, logging_on):
+        with pytest.raises(SecurityViolation):
+            logging_on.log.clear(authorized_by_user=False)
+
+    def test_clear_with_authorization(self, logging_on):
+        do_audited_work(logging_on, count=1)
+        logging_on.log.clear(authorized_by_user=True)
+        assert logging_on.log.entry_count == 0
+
+
+class TestRemoteRetrieval:
+    def _export(self, system) -> bytes:
+        reply = system.gateway.call_service(system.boot_core,
+                                            {"op": "log_export"})
+        return bytes.fromhex(reply["record_hex"])
+
+    def test_sealed_export_decrypts_for_user(self, logging_on):
+        user = logging_on.attest_and_connect()
+        do_audited_work(logging_on, count=1)
+        payload = user.channel.receive(self._export(logging_on))
+        assert len(payload["logs"]) == 2
+        assert "open" in payload["logs"][0]
+
+    def test_export_tampered_in_transit_detected(self, logging_on):
+        user = logging_on.attest_and_connect()
+        do_audited_work(logging_on, count=1)
+        wire = bytearray(self._export(logging_on))
+        wire[20] ^= 0x1
+        with pytest.raises(SecurityViolation):
+            user.channel.receive(bytes(wire))
+
+    def test_user_authorized_clear(self, logging_on):
+        user = logging_on.attest_and_connect()
+        do_audited_work(logging_on, count=1)
+        record = user.channel.send({"cmd": "clear_logs"})
+        reply = logging_on.gateway.call_service(
+            logging_on.boot_core,
+            {"op": "log_clear", "record_hex": record.hex()})
+        assert reply["status"] == "ok"
+        assert logging_on.log.entry_count == 0
+
+    def test_os_forged_clear_rejected(self, logging_on):
+        logging_on.attest_and_connect()
+        do_audited_work(logging_on, count=1)
+        with pytest.raises(SecurityViolation):
+            logging_on.gateway.call_service(
+                logging_on.boot_core,
+                {"op": "log_clear", "record_hex": (b"\x00" * 64).hex()})

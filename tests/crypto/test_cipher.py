@@ -1,0 +1,76 @@
+"""Unit + property tests: the authenticated stream cipher."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import cipher
+from repro.errors import SecurityViolation
+
+
+KEY = b"\x11" * cipher.KEY_BYTES
+NONCE = cipher.nonce_from_counter(7)
+
+
+class TestStreamXor:
+    def test_encrypt_decrypt_symmetry(self):
+        ct = cipher.stream_xor(KEY, NONCE, b"attack at dawn")
+        assert cipher.stream_xor(KEY, NONCE, ct) == b"attack at dawn"
+
+    def test_different_nonce_different_keystream(self):
+        data = b"\x00" * 64
+        a = cipher.stream_xor(KEY, cipher.nonce_from_counter(1), data)
+        b = cipher.stream_xor(KEY, cipher.nonce_from_counter(2), data)
+        assert a != b
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            cipher.stream_xor(b"short", NONCE, b"x")
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            cipher.stream_xor(KEY, b"short", b"x")
+
+    @given(st.binary(max_size=10_000))
+    def test_roundtrip_property(self, data):
+        ct = cipher.stream_xor(KEY, NONCE, data)
+        assert cipher.stream_xor(KEY, NONCE, ct) == data
+        assert len(ct) == len(data)
+
+
+class TestSeal:
+    def test_seal_open_roundtrip(self):
+        sealed = cipher.seal(KEY, NONCE, b"page contents", aad=b"vpn7")
+        assert cipher.open_sealed(KEY, NONCE, sealed,
+                                  aad=b"vpn7") == b"page contents"
+
+    def test_tampered_ciphertext_rejected(self):
+        sealed = bytearray(cipher.seal(KEY, NONCE, b"page contents"))
+        sealed[0] ^= 1
+        with pytest.raises(SecurityViolation):
+            cipher.open_sealed(KEY, NONCE, bytes(sealed))
+
+    def test_tampered_tag_rejected(self):
+        sealed = bytearray(cipher.seal(KEY, NONCE, b"page contents"))
+        sealed[-1] ^= 1
+        with pytest.raises(SecurityViolation):
+            cipher.open_sealed(KEY, NONCE, bytes(sealed))
+
+    def test_wrong_aad_rejected(self):
+        sealed = cipher.seal(KEY, NONCE, b"data", aad=b"vpn7")
+        with pytest.raises(SecurityViolation):
+            cipher.open_sealed(KEY, NONCE, sealed, aad=b"vpn8")
+
+    def test_wrong_counter_nonce_rejected(self):
+        """The freshness-counter defence: a stale (replayed) page fails."""
+        sealed = cipher.seal(KEY, cipher.nonce_from_counter(1), b"old")
+        with pytest.raises(SecurityViolation):
+            cipher.open_sealed(KEY, cipher.nonce_from_counter(2), sealed)
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(SecurityViolation):
+            cipher.open_sealed(KEY, NONCE, b"tiny")
+
+    @given(st.binary(max_size=4096), st.binary(max_size=32))
+    def test_seal_roundtrip_property(self, data, aad):
+        sealed = cipher.seal(KEY, NONCE, data, aad=aad)
+        assert cipher.open_sealed(KEY, NONCE, sealed, aad=aad) == data

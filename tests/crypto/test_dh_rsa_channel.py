@@ -1,0 +1,107 @@
+"""Unit tests: Diffie-Hellman, RSA signatures, and the secure channel."""
+
+import pytest
+
+from repro.crypto import (DhKeyPair, SecureChannel, channel_pair,
+                          generate_key)
+from repro.crypto.rsa import generate_keypair
+from repro.errors import SecurityViolation
+
+# One shared keypair: RSA keygen dominates test time otherwise.
+KEYPAIR = generate_keypair()
+
+
+class TestDiffieHellman:
+    def test_shared_key_agreement(self):
+        alice, bob = DhKeyPair(), DhKeyPair()
+        assert alice.shared_key(bob.public) == bob.shared_key(alice.public)
+
+    def test_distinct_pairs_distinct_keys(self):
+        alice, bob, carol = DhKeyPair(), DhKeyPair(), DhKeyPair()
+        assert alice.shared_key(bob.public) != \
+            alice.shared_key(carol.public)
+
+    def test_degenerate_public_rejected(self):
+        alice = DhKeyPair()
+        for bad in (0, 1):
+            with pytest.raises(ValueError):
+                alice.shared_key(bad)
+
+
+class TestRsa:
+    def test_sign_verify_roundtrip(self):
+        sig = KEYPAIR.sign(b"module-blob")
+        KEYPAIR.public.verify(b"module-blob", sig)
+
+    def test_wrong_message_rejected(self):
+        sig = KEYPAIR.sign(b"module-blob")
+        with pytest.raises(SecurityViolation):
+            KEYPAIR.public.verify(b"other-blob", sig)
+
+    def test_corrupted_signature_rejected(self):
+        sig = bytearray(KEYPAIR.sign(b"module-blob"))
+        sig[5] ^= 0xFF
+        with pytest.raises(SecurityViolation):
+            KEYPAIR.public.verify(b"module-blob", bytes(sig))
+
+    def test_out_of_range_signature_rejected(self):
+        with pytest.raises(SecurityViolation):
+            KEYPAIR.public.verify(b"m", b"\x00" * 8)
+
+    def test_fingerprint_stable(self):
+        assert KEYPAIR.public.fingerprint() == \
+            KEYPAIR.public.fingerprint()
+        assert len(KEYPAIR.public.fingerprint()) == 16
+
+
+class TestSecureChannel:
+    def test_bidirectional_exchange(self):
+        user, monitor = channel_pair(generate_key())
+        wire = user.send({"cmd": "get_logs"})
+        assert monitor.receive(wire) == {"cmd": "get_logs"}
+        reply = monitor.send({"logs": ["a", "b"]})
+        assert user.receive(reply) == {"logs": ["a", "b"]}
+
+    def test_tampering_detected(self):
+        user, monitor = channel_pair(generate_key())
+        wire = bytearray(user.send({"cmd": "clear"}))
+        wire[-3] ^= 1
+        with pytest.raises(SecurityViolation):
+            monitor.receive(bytes(wire))
+
+    def test_replay_detected(self):
+        user, monitor = channel_pair(generate_key())
+        wire = user.send({"seq": 1})
+        monitor.receive(wire)
+        with pytest.raises(SecurityViolation):
+            monitor.receive(wire)
+
+    def test_reorder_detected(self):
+        user, monitor = channel_pair(generate_key())
+        first = user.send({"n": 1})
+        second = user.send({"n": 2})
+        with pytest.raises(SecurityViolation):
+            monitor.receive(second)
+        monitor.receive(first)
+
+    def test_direction_separation(self):
+        """A record sent by the initiator cannot be reflected back."""
+        user, monitor = channel_pair(generate_key())
+        wire = user.send({"cmd": "x"})
+        with pytest.raises(SecurityViolation):
+            user.receive(wire)
+
+    def test_wrong_key_rejected(self):
+        user, _ = channel_pair(generate_key())
+        _, other_monitor = channel_pair(generate_key())
+        with pytest.raises(SecurityViolation):
+            other_monitor.receive(user.send({"cmd": "x"}))
+
+    def test_short_record_rejected(self):
+        _, monitor = channel_pair(generate_key())
+        with pytest.raises(SecurityViolation):
+            monitor.receive(b"xx")
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel(generate_key(), role="middlebox")

@@ -1,0 +1,85 @@
+"""Unit tests: enclave binary format, layout, and measurement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.enclave.binary import EnclaveBinary, build_test_binary
+from repro.hw.memory import PAGE_SIZE
+
+BASE = 0x2000_0000
+
+
+class TestLayout:
+    def test_regions_ordered_and_contiguous(self):
+        binary = build_test_binary("app", code_size=8192, heap_pages=4,
+                                   stack_pages=2)
+        layout = binary.layout(BASE)
+        cursor = BASE
+        for name in ("code", "data", "heap", "stack", "idcb"):
+            vaddr, pages, _w, _x = layout[name]
+            assert vaddr == cursor
+            cursor += pages * PAGE_SIZE
+        assert cursor == BASE + binary.total_pages * PAGE_SIZE
+
+    def test_code_is_executable_not_writable(self):
+        layout = build_test_binary("app").layout(BASE)
+        _v, _p, writable, executable = layout["code"]
+        assert executable and not writable
+
+    def test_data_heap_stack_writable_not_executable(self):
+        layout = build_test_binary("app").layout(BASE)
+        for name in ("data", "heap", "stack"):
+            _v, _p, writable, executable = layout[name]
+            assert writable and not executable
+
+    def test_page_counts(self):
+        binary = EnclaveBinary("x", code=b"\x90" * 5000, data=b"d",
+                               heap_pages=3, stack_pages=2)
+        assert binary.code_pages == 2
+        assert binary.data_pages == 1
+        assert binary.total_pages == 2 + 1 + 3 + 2 + 1
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        a = build_test_binary("app")
+        assert a.expected_measurement(BASE) == \
+            a.expected_measurement(BASE)
+
+    def test_sensitive_to_code(self):
+        a = build_test_binary("app")
+        b = EnclaveBinary(a.name, a.code[:-1] + b"\xcc", a.data,
+                          a.heap_pages, a.stack_pages, a.entry_offset)
+        assert a.expected_measurement(BASE) != \
+            b.expected_measurement(BASE)
+
+    def test_sensitive_to_layout_base(self):
+        a = build_test_binary("app")
+        assert a.expected_measurement(BASE) != \
+            a.expected_measurement(BASE + PAGE_SIZE)
+
+    def test_sensitive_to_sizing(self):
+        a = build_test_binary("app", heap_pages=4)
+        b = build_test_binary("app", heap_pages=8)
+        assert a.expected_measurement(BASE) != \
+            b.expected_measurement(BASE)
+
+    @given(st.integers(1, 6), st.integers(1, 4))
+    def test_measurement_unique_per_shape(self, heap, stack):
+        """Measurements agree exactly when the page-record sequences
+        agree.  Heap and stack pages are indistinguishable (both
+        zero-filled RW), so only their *sum* is layout-visible -- the
+        same property real enclave measurements have."""
+        base_binary = build_test_binary("app", heap_pages=2,
+                                        stack_pages=1)
+        other = build_test_binary("app", heap_pages=heap,
+                                  stack_pages=stack)
+        same_records = (heap + stack) == 3
+        equal = base_binary.expected_measurement(BASE) == \
+            other.expected_measurement(BASE)
+        assert equal == same_records
+
+    def test_fingerprint_covers_name_and_contents(self):
+        a = build_test_binary("app")
+        b = build_test_binary("app2")
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,138 @@
+"""Tests: the LibOS-style buffered stream layer (section 10)."""
+
+import pytest
+
+from repro.enclave import EnclaveHost, build_test_binary
+from repro.enclave.libos import LibOs
+from repro.errors import SdkError
+
+
+@pytest.fixture
+def host(veil):
+    host = EnclaveHost(veil, build_test_binary("libos", heap_pages=16),
+                       shared_pages=16)
+    host.launch()
+    return host
+
+
+class TestStreams:
+    def test_write_read_roundtrip(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            os_.write_file("/tmp/doc.txt", b"library os layer")
+            return os_.read_file("/tmp/doc.txt")
+
+        assert host.run(body) == b"library os layer"
+
+    def test_buffering_reduces_exits(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            stream = os_.fopen("/tmp/buffered.log", "w")
+            before = libc.rt.enclave_exits
+            for index in range(100):
+                stream.print(f"line {index}\n")     # ~800 bytes total
+            buffered_exits = libc.rt.enclave_exits - before
+            stream.close()
+            return buffered_exits
+
+        # 100 buffered prints fit one 4 KiB buffer: zero exits until
+        # flush/close.
+        assert host.run(body) == 0
+
+    def test_flush_on_buffer_overflow(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            stream = os_.fopen("/tmp/big.log", "w", buffer_size=256)
+            before = libc.rt.enclave_exits
+            stream.write(b"x" * 1024)            # 4 buffer drains
+            mid = libc.rt.enclave_exits - before
+            stream.close()
+            return mid
+
+        assert host.run(body) >= 4
+
+    def test_readline(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            os_.write_file("/tmp/lines.txt", b"one\ntwo\nthree")
+            stream = os_.fopen("/tmp/lines.txt", "r")
+            lines = [stream.readline(), stream.readline(),
+                     stream.readline(), stream.readline()]
+            stream.close()
+            return lines
+
+        assert host.run(body) == [b"one\n", b"two\n", b"three", b""]
+
+    def test_append_mode(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            os_.write_file("/tmp/app.txt", b"start")
+            with os_.fopen("/tmp/app.txt", "a") as stream:
+                stream.write(b"-end")
+            return os_.read_file("/tmp/app.txt")
+
+        assert host.run(body) == b"start-end"
+
+    def test_seek_tell(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            os_.write_file("/tmp/seek.txt", b"0123456789")
+            stream = os_.fopen("/tmp/seek.txt", "r")
+            stream.seek(4)
+            four = stream.read(2)
+            position = stream.tell()
+            stream.close()
+            return four, position
+
+        assert host.run(body) == (b"45", 6)
+
+    def test_tell_accounts_for_write_buffer(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            stream = os_.fopen("/tmp/tell.txt", "w")
+            stream.write(b"abcdef")       # still buffered
+            position = stream.tell()
+            stream.close()
+            return position
+
+        assert host.run(body) == 6
+
+    def test_closed_stream_rejected(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            stream = os_.fopen("/tmp/closed.txt", "w")
+            stream.close()
+            stream.close()                 # idempotent
+            try:
+                stream.write(b"x")
+            except SdkError:
+                return "rejected"
+            return "accepted"
+
+        assert host.run(body) == "rejected"
+
+    def test_bad_mode_rejected(self, host):
+        def body(libc):
+            LibOs(libc).fopen("/tmp/x", "rb+")
+
+        with pytest.raises(SdkError):
+            host.run(body)
+
+    def test_environment(self, host):
+        def body(libc):
+            os_ = LibOs(libc)
+            os_.setenv("HOME", "/enclave")
+            return os_.getenv("HOME"), os_.getenv("PATH", "/bin")
+
+        assert host.run(body) == ("/enclave", "/bin")
+
+    def test_stdout_printf_reaches_console(self, host, veil):
+        def body(libc):
+            os_ = LibOs(libc)
+            for _ in range(600):
+                os_.printf("libos says hi\n")
+            os_.fflush_all()
+
+        host.run(body)
+        # 600 x 14 B > two console flush thresholds.
+        assert "libos says hi" in veil.hv.console.output

@@ -1,0 +1,58 @@
+"""Section 6.2: enclave measurement delivery over the secure channel."""
+
+import pytest
+
+from repro.enclave import EnclaveHost, build_test_binary
+from repro.errors import SdkError, SecurityViolation
+
+
+@pytest.fixture
+def attested(veil):
+    user = veil.attest_and_connect()
+    host = EnclaveHost(veil, build_test_binary("remote-att",
+                                               heap_pages=4))
+    host.launch()
+    return veil, user, host
+
+
+class TestRemoteEnclaveAttestation:
+    def test_genuine_measurement_verifies(self, attested):
+        veil, user, host = attested
+        measurement = host.attest_remote(user)
+        assert measurement == host.measurement_hex
+
+    def test_wrong_binary_detected_remotely(self, attested):
+        veil, user, _host = attested
+        evil = EnclaveHost(veil, build_test_binary("trojaned",
+                                                   heap_pages=4))
+        evil.launch()
+        # The user expected "remote-att"'s binary, not "trojaned".
+        evil.binary = build_test_binary("remote-att", heap_pages=4)
+        with pytest.raises(SdkError):
+            evil.attest_remote(user)
+
+    def test_os_cannot_forge_measurement_record(self, attested):
+        """The relaying OS swaps in bytes of its own: the channel MAC
+        rejects them (it has no key)."""
+        veil, user, host = attested
+        with pytest.raises(SecurityViolation):
+            user.channel.receive(b"\x00" * 64)
+
+    def test_os_cannot_replay_old_record(self, attested):
+        veil, user, host = attested
+        reply = veil.gateway.call_service(veil.boot_core, {
+            "op": "enc_report_measurement",
+            "enclave_id": host.enclave_id})
+        wire = bytes.fromhex(reply["record_hex"])
+        user.channel.receive(wire)
+        with pytest.raises(SecurityViolation):
+            user.channel.receive(wire)
+
+    def test_requires_established_channel(self, veil):
+        host = EnclaveHost(veil, build_test_binary("no-chan",
+                                                   heap_pages=4))
+        host.launch()
+        with pytest.raises(SecurityViolation):
+            veil.gateway.call_service(veil.boot_core, {
+                "op": "enc_report_measurement",
+                "enclave_id": host.enclave_id})

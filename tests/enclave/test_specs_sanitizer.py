@@ -1,0 +1,128 @@
+"""Unit tests: syscall specifications and the marshalling sanitizer."""
+
+import pytest
+
+from repro.enclave.specs import (ArgKind, SYSCALL_SPECS,
+                                 supported_syscalls,
+                                 unsupported_syscalls)
+
+
+class TestSpecs:
+    def test_every_buffer_arg_has_length_rule(self):
+        for spec in SYSCALL_SPECS.values():
+            for arg in spec.args:
+                if arg.kind in (ArgKind.BUF_IN, ArgKind.BUF_OUT):
+                    assert arg.len_from is not None or \
+                        arg.const_len is not None, \
+                        f"{spec.name}:{arg.name} lacks a length rule"
+
+    def test_len_from_points_at_scalar(self):
+        for spec in SYSCALL_SPECS.values():
+            for arg in spec.args:
+                if arg.len_from is not None:
+                    target = spec.args[arg.len_from]
+                    assert target.kind == ArgKind.SCALAR
+
+    def test_write_length_relationship(self):
+        """The paper's example: write's third argument is the length of
+        its second (the buffer)."""
+        spec = SYSCALL_SPECS["write"]
+        buffer_arg = spec.args[1]
+        assert buffer_arg.kind == ArgKind.BUF_IN
+        assert buffer_arg.len_from == 2
+        assert spec.args[2].name == "count"
+
+    def test_read_is_outbound_buffer(self):
+        assert SYSCALL_SPECS["read"].args[1].kind == ArgKind.BUF_OUT
+
+    def test_mmap_flagged_for_iago_check(self):
+        assert SYSCALL_SPECS["mmap"].returns_pointer
+
+    def test_dangerous_calls_unsupported(self):
+        for name in ("ptrace", "init_module", "fork", "execve", "bpf",
+                     "io_uring_setup"):
+            assert name in unsupported_syscalls()
+
+    def test_supported_count_substantial(self):
+        # The paper's SDK supports 96 syscalls; our spec table covers the
+        # substrate's surface.
+        assert len(supported_syscalls()) >= 55
+
+    def test_no_overlap_between_supported_and_unsupported(self):
+        assert not set(supported_syscalls()) & set(unsupported_syscalls())
+
+
+class TestSanitizerThroughEnclave:
+    """Sanitizer behaviour exercised through a real enclave runtime."""
+
+    @pytest.fixture
+    def host(self, veil):
+        from repro.enclave import EnclaveHost, build_test_binary
+        host = EnclaveHost(veil, build_test_binary("sanit",
+                                                   heap_pages=8))
+        host.launch()
+        return host
+
+    def test_unsupported_syscall_kills_enclave(self, host):
+        from repro.errors import SdkError
+
+        def call_fork(libc):
+            return libc.rt.syscall("fork")
+
+        with pytest.raises(SdkError):
+            host.run(call_fork)
+        assert host.runtime.killed
+        # Enclave is destroyed: further entry fails.
+        with pytest.raises(SdkError):
+            host.run(lambda libc: None)
+
+    def test_unknown_syscall_kills_enclave(self, host):
+        from repro.errors import SdkError
+        with pytest.raises(SdkError):
+            host.run(lambda libc: libc.rt.syscall("not_a_syscall"))
+
+    def test_buffer_deep_copies_counted(self, host):
+        from repro.kernel.fs import O_CREAT, O_RDWR
+
+        def body(libc):
+            fd = libc.open("/tmp/c", O_CREAT | O_RDWR)
+            libc.write(fd, b"x" * 1000)
+            libc.lseek(fd, 0, 0)
+            libc.read(fd, 1000)
+            libc.close(fd)
+
+        host.run(body)
+        # write stages 1000 bytes out, read stages 1000 back.
+        assert host.runtime.redirect_bytes >= 2000
+        assert host.runtime.sanitizer.calls_sanitized >= 5
+
+    def test_short_read_copies_only_result(self, host):
+        from repro.kernel.fs import O_CREAT, O_RDWR
+
+        def body(libc):
+            fd = libc.open("/tmp/short", O_CREAT | O_RDWR)
+            libc.write(fd, b"abc")
+            libc.lseek(fd, 0, 0)
+            return libc.read(fd, 4096)
+
+        assert host.run(body) == b"abc"
+
+    def test_iago_pointer_rejected(self, host, veil):
+        """If the OS returns an mmap pointer aliasing enclave memory, the
+        sanitizer kills the enclave."""
+        from repro.errors import SecurityViolation
+        from repro.kernel import layout
+        original = veil.kernel.syscalls.sys_mmap
+
+        def evil_mmap(core, proc, *args, **kwargs):
+            original(core, proc, *args, **kwargs)
+            return layout.ENCLAVE_BASE + 4096     # inside the enclave!
+
+        veil.kernel.syscalls.sys_mmap = evil_mmap
+        try:
+            with pytest.raises(SecurityViolation):
+                host.run(lambda libc: libc.mmap(4096))
+        finally:
+            veil.kernel.syscalls.sys_mmap = original
+        assert host.runtime.sanitizer.iago_rejections == 1
+        assert host.runtime.killed

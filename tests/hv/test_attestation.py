@@ -1,0 +1,90 @@
+"""Unit tests: PSP attestation and remote-user verification."""
+
+import pytest
+
+from repro.crypto import sha256
+from repro.errors import AttestationError
+from repro.hv.attestation import RemoteUser, SecureProcessor
+
+
+@pytest.fixture
+def psp():
+    processor = SecureProcessor()
+    processor.measure_launch(b"good-boot-image")
+    return processor
+
+
+class TestSecureProcessor:
+    def test_report_before_launch_rejected(self):
+        with pytest.raises(AttestationError):
+            SecureProcessor().attestation_report(requester_vmpl=0,
+                                                 report_data=b"")
+
+    def test_report_data_padded_to_64(self, psp):
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=b"abc")
+        assert len(report.report_data) == 64
+
+    def test_oversized_report_data_rejected(self, psp):
+        with pytest.raises(AttestationError):
+            psp.attestation_report(requester_vmpl=0,
+                                   report_data=b"x" * 65)
+
+
+class TestRemoteUser:
+    def make_user(self, psp) -> RemoteUser:
+        return RemoteUser(sha256(b"good-boot-image"), psp.public_key)
+
+    def test_valid_report_accepted(self, psp):
+        user = self.make_user(psp)
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=b"\x00" * 32)
+        user.verify(report)
+
+    def test_measurement_mismatch_rejected(self, psp):
+        user = RemoteUser(sha256(b"expected-other-image"),
+                          psp.public_key)
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=b"")
+        with pytest.raises(AttestationError):
+            user.verify(report)
+
+    def test_wrong_requester_vmpl_rejected(self, psp):
+        """The OS (VMPL-3) cannot impersonate VeilMon (VMPL-0)."""
+        user = self.make_user(psp)
+        report = psp.attestation_report(requester_vmpl=3,
+                                        report_data=b"")
+        with pytest.raises(AttestationError):
+            user.verify(report, require_vmpl=0)
+
+    def test_forged_signature_rejected(self, psp):
+        from repro.hv.attestation import AttestationReport
+        user = self.make_user(psp)
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=b"")
+        forged = AttestationReport(
+            measurement=report.measurement, requester_vmpl=0,
+            report_data=report.report_data,
+            signature=bytes(len(report.signature)))
+        with pytest.raises(AttestationError):
+            user.verify(forged)
+
+    def test_channel_key_binds_dh_public(self, psp):
+        from repro.crypto import DhKeyPair
+        user = self.make_user(psp)
+        monitor_dh = DhKeyPair()
+        blob = monitor_dh.public.to_bytes(256, "big")
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=sha256(blob))
+        key = user.channel_key_from_report(report, blob)
+        assert key == monitor_dh.shared_key(user.dh.public)
+
+    def test_swapped_dh_public_rejected(self, psp):
+        from repro.crypto import DhKeyPair
+        user = self.make_user(psp)
+        genuine = DhKeyPair().public.to_bytes(256, "big")
+        attacker = DhKeyPair().public.to_bytes(256, "big")
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=sha256(genuine))
+        with pytest.raises(AttestationError):
+            user.channel_key_from_report(report, attacker)

@@ -1,0 +1,54 @@
+"""Unit tests: virtio-style host devices."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hv.devices import SECTOR_SIZE, VirtioBlock, VirtioConsole
+
+
+class TestConsole:
+    def test_lines_split_on_newline(self):
+        console = VirtioConsole()
+        console.write(b"first\nsecond\npart")
+        assert console.lines == ["first", "second"]
+        console.write(b"ial\n")
+        assert console.lines[-1] == "partial"
+
+    def test_flush_emits_partial(self):
+        console = VirtioConsole()
+        console.write(b"no newline")
+        console.flush()
+        assert console.lines == ["no newline"]
+
+    def test_output_includes_partial(self):
+        console = VirtioConsole()
+        console.write(b"a\nb")
+        assert console.output == "a\nb"
+
+    def test_invalid_utf8_replaced(self):
+        console = VirtioConsole()
+        console.write(b"\xff\xfe ok\n")
+        assert "ok" in console.lines[0]
+
+
+class TestBlock:
+    def test_sector_roundtrip(self):
+        block = VirtioBlock()
+        data = bytes(range(256)) * 2
+        block.write_sector(7, data)
+        assert block.read_sector(7) == data
+        assert (block.reads, block.writes) == (1, 1)
+
+    def test_unwritten_sector_reads_zero(self):
+        assert VirtioBlock().read_sector(0) == b"\x00" * SECTOR_SIZE
+
+    def test_short_write_rejected(self):
+        with pytest.raises(KernelError):
+            VirtioBlock().write_sector(0, b"short")
+
+    def test_out_of_range_rejected(self):
+        block = VirtioBlock(capacity_sectors=4)
+        with pytest.raises(KernelError):
+            block.read_sector(4)
+        with pytest.raises(KernelError):
+            block.write_sector(-1, b"\x00" * SECTOR_SIZE)

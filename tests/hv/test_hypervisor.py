@@ -1,0 +1,156 @@
+"""Unit/integration tests: the untrusted hypervisor."""
+
+import pytest
+
+from repro.errors import CvmHalted
+from repro.hw import SevSnpMachine
+from repro.hw.ghcb import Ghcb
+from repro.hw.memory import page_base
+from repro.hv import Hypervisor
+from repro.hv.hypervisor import HostAccessBlocked
+
+
+def launched():
+    machine = SevSnpMachine(memory_bytes=8 * 1024 * 1024, num_cores=2)
+    hv = Hypervisor(machine)
+    vmsa = hv.launch(b"image")
+    core = machine.core(0)
+    core.hw_enter(vmsa)
+    machine.rmp.bulk_assign_validate(machine.num_pages)
+    for ppn in machine.vmsa_objects:
+        machine.rmp.entry(ppn).vmsa = True
+    return machine, hv, core
+
+
+def armed_ghcb(machine, core) -> Ghcb:
+    ppn = machine.frames.alloc()
+    machine.rmp.share(ppn)
+    core.regs.cpl = 0
+    core.wrmsr_ghcb(page_base(ppn))
+    return Ghcb(ppn)
+
+
+class TestLaunch:
+    def test_launch_measures_image(self):
+        machine, hv, core = launched()
+        from repro.crypto import sha256
+        assert hv.psp.launch_measurement == sha256(b"image")
+
+    def test_boot_vmsa_is_vmpl0(self):
+        machine, hv, core = launched()
+        assert core.vmpl == 0
+        assert (0, 0) in hv.vmsas
+
+
+class TestHostAccess:
+    def test_host_blocked_from_assigned_pages(self):
+        machine, hv, core = launched()
+        with pytest.raises(HostAccessBlocked):
+            hv.host_read(page_base(10), 16)
+        with pytest.raises(HostAccessBlocked):
+            hv.host_write(page_base(10), b"evil")
+
+    def test_host_blocked_from_vmsa_pages(self):
+        machine, hv, core = launched()
+        vmsa_ppn = next(iter(machine.vmsa_objects))
+        with pytest.raises(HostAccessBlocked):
+            hv.host_write(page_base(vmsa_ppn), b"\x00")
+
+    def test_host_allowed_on_shared_pages(self):
+        machine, hv, core = launched()
+        ppn = machine.frames.alloc()
+        machine.rmp.share(ppn)
+        hv.host_write(page_base(ppn), b"bounce")
+        assert hv.host_read(page_base(ppn), 6) == b"bounce"
+
+
+class TestVmgexitDispatch:
+    def test_console_io(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {
+            "op": "io", "device": "console",
+            "data_hex": b"hello hypervisor\n".hex()})
+        core.vmgexit()
+        assert "hello hypervisor" in hv.console.output
+        reply = ghcb.read_message(machine.memory)
+        assert reply["status"] == "ok"
+
+    def test_block_device_io(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        sector = (b"data" * 128)
+        ghcb.write_message(machine.memory, {
+            "op": "io", "device": "block", "action": "write", "lba": 3,
+            "data_hex": sector.hex()})
+        core.vmgexit()
+        ghcb.write_message(machine.memory, {
+            "op": "io", "device": "block", "action": "read", "lba": 3})
+        core.vmgexit()
+        reply = ghcb.read_message(machine.memory)
+        assert bytes.fromhex(reply["data_hex"]) == sector
+
+    def test_page_state_change_share(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        target = machine.frames.alloc()
+        ghcb.write_message(machine.memory, {
+            "op": "page_state_change", "action": "share",
+            "ppns": [target]})
+        core.vmgexit()
+        assert machine.rmp.entry(target).shared
+
+    def test_unknown_op_halts(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {"op": "nonsense"})
+        with pytest.raises(CvmHalted):
+            core.vmgexit()
+
+    def test_guest_halt_request(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {"op": "halt",
+                                            "reason": "test"})
+        with pytest.raises(CvmHalted):
+            core.vmgexit()
+        assert machine.halt_reason == "test"
+
+    def test_attestation_report_stamps_requester_vmpl(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {
+            "op": "attestation_report",
+            "report_data_hex": (b"\x01" * 32).hex()})
+        core.vmgexit()
+        reply = ghcb.read_message(machine.memory)
+        assert reply["requester_vmpl"] == 0
+
+    def test_exit_log_records_operations(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {
+            "op": "io", "device": "console", "data_hex": "00"})
+        core.vmgexit()
+        assert "vmgexit:io" in hv.exit_log
+
+
+class TestDomainSwitchPolicy:
+    def test_switch_via_unregistered_ghcb_halts(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        ghcb.write_message(machine.memory, {"op": "domain_switch",
+                                            "target_vmpl": 3})
+        with pytest.raises(CvmHalted):
+            core.vmgexit()
+
+    def test_disallowed_pair_halts(self):
+        machine, hv, core = launched()
+        ghcb = armed_ghcb(machine, core)
+        from repro.hv.hypervisor import GhcbPolicy
+        hv.ghcb_policies[ghcb.ppn] = GhcbPolicy(
+            vcpu_id=0, allowed_switches={(3, 2)})
+        ghcb.write_message(machine.memory, {"op": "domain_switch",
+                                            "target_vmpl": 1})
+        with pytest.raises(CvmHalted):
+            core.vmgexit()

@@ -1,0 +1,74 @@
+"""Calibration arithmetic: the cost constants must reproduce the paper's
+anchor measurements by construction.
+
+These tests are executable documentation of DESIGN.md section 4: if a
+constant changes, the derivations below say exactly which paper anchor
+breaks.
+"""
+
+import pytest
+
+from repro.hw.cycles import CLOCK_HZ, CostModel
+
+COST = CostModel()
+PAGES_2GB = (2 * 1024 ** 3) // 4096
+
+
+class TestSwitchAnchors:
+    def test_domain_switch_is_paper_7135(self):
+        assert COST.vmgexit + COST.vmenter == 7135
+
+    def test_switch_vs_vmcall_ratio(self):
+        """Paper section 9.1: ~6.5x a plain 1100-cycle VMCALL exit."""
+        assert COST.domain_switch / COST.vmcall == pytest.approx(6.49,
+                                                                 abs=0.1)
+
+
+class TestBootSweepArithmetic:
+    def test_two_sweeps_plus_validation_is_about_two_seconds(self):
+        """Veil's boot work on a 2 GB guest: one PVALIDATE acceptance
+        pass plus two RMPADJUST permission sweeps (DomSER + DomUNT)."""
+        cycles = PAGES_2GB * (2 * COST.rmpadjust + COST.pvalidate)
+        seconds = cycles / CLOCK_HZ
+        assert 1.8 <= seconds <= 2.2        # paper: ~2 s
+
+    def test_rmpadjust_dominates_the_sweep(self):
+        """Paper: >70% of the boot delta is RMPADJUST."""
+        rmpadjust = PAGES_2GB * 2 * COST.rmpadjust
+        total = PAGES_2GB * (2 * COST.rmpadjust + COST.pvalidate)
+        assert rmpadjust / total > 0.7
+
+
+class TestCs1Arithmetic:
+    def test_module_extra_is_about_55k(self):
+        """CS1: a 24 KiB module (6 pages) pays one switch round trip
+        plus per-page RMPADJUST -- the paper's ~55k extra cycles."""
+        extra = 2 * COST.domain_switch + 6 * COST.rmpadjust
+        assert 40_000 <= extra <= 70_000
+
+
+class TestCopyModel:
+    def test_quarter_cycle_per_byte(self):
+        assert COST.copy_cost(4096) * 4 == 4096
+
+    def test_ten_kb_copy_much_cheaper_than_a_switch(self):
+        """Fig. 5 precondition: at these constants the 7135-cycle switch
+        outweighs a 10 KB copy, which is why exit cost dominates the
+        stacked bars (EXPERIMENTS.md documents this deviation from the
+        paper's lighttpd split)."""
+        assert COST.copy_cost(10 * 1024) < COST.domain_switch
+
+
+class TestFig4Preconditions:
+    def test_redirection_extra_fits_the_band(self):
+        """A redirected syscall adds ~2 switches; with native base costs
+        between ~2.3k and ~8.4k cycles the ratio lands in 3.3-7.1x."""
+        from repro.kernel.syscalls import BASE_COSTS
+        extra = 2 * COST.domain_switch
+        for name in ("open", "read", "write", "mmap", "munmap",
+                     "socket"):
+            native = BASE_COSTS[name] + 150      # + syscall entry
+            ratio_floor = 1 + extra / (native + 6000)   # with copies
+            ratio_ceiling = 1 + extra / native
+            assert ratio_ceiling >= 3.0, name
+            assert ratio_floor <= 8.0, name

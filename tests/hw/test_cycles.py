@@ -1,0 +1,99 @@
+"""Unit tests: cycle ledger and cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.cycles import (CLOCK_HZ, CostModel, CycleLedger,
+                             cycles_to_seconds, free_cost_model)
+
+
+class TestCostModel:
+    def test_domain_switch_matches_paper(self):
+        assert CostModel().domain_switch == 7135
+
+    def test_copy_cost_is_quarter_cycle_per_byte(self):
+        cost = CostModel()
+        assert cost.copy_cost(4096) == 1024
+
+    def test_copy_cost_rounds_down(self):
+        assert CostModel().copy_cost(1) == 0
+        assert CostModel().copy_cost(4) == 1
+
+    def test_sha256_and_cipher_costs_scale_linearly(self):
+        cost = CostModel()
+        assert cost.sha256_cost(2000) == 2 * cost.sha256_cost(1000)
+        assert cost.cipher_cost(2000) == 2 * cost.cipher_cost(1000)
+
+    def test_free_cost_model_is_all_zero(self):
+        cost = free_cost_model()
+        assert cost.vmgexit == 0
+        assert cost.rmpadjust == 0
+        assert cost.copy_cost(10_000) == 0
+        assert cost.domain_switch == 0
+
+
+class TestCycleLedger:
+    def test_charge_accumulates_total_and_category(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 10)
+        ledger.charge("a", 5)
+        ledger.charge("b", 3)
+        assert ledger.total == 18
+        assert ledger.category("a") == 15
+        assert ledger.category("b") == 3
+        assert ledger.category("missing") == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleLedger().charge("x", -1)
+
+    def test_snapshot_is_immutable_view(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 7)
+        snap = ledger.snapshot()
+        ledger.charge("a", 100)
+        assert snap.total == 7
+        assert snap.category("a") == 7
+
+    def test_since_returns_delta_only(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 7)
+        snap = ledger.snapshot()
+        ledger.charge("a", 3)
+        ledger.charge("b", 2)
+        delta = ledger.since(snap)
+        assert delta.total == 5
+        assert delta.by_category == {"a": 3, "b": 2}
+
+    def test_since_omits_unchanged_categories(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 7)
+        snap = ledger.snapshot()
+        ledger.charge("b", 1)
+        assert "a" not in ledger.since(snap).by_category
+
+    def test_reset(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 7)
+        ledger.reset()
+        assert ledger.total == 0
+        assert ledger.by_category == {}
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"),
+                              st.integers(0, 10_000)), max_size=50))
+    def test_total_equals_sum_of_categories(self, charges):
+        ledger = CycleLedger()
+        for category, amount in charges:
+            ledger.charge(category, amount)
+        assert ledger.total == sum(ledger.by_category.values())
+
+
+class TestConversions:
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(CLOCK_HZ) == 1.0
+        assert cycles_to_seconds(CLOCK_HZ // 2) == 0.5
+
+    def test_snapshot_seconds(self):
+        ledger = CycleLedger()
+        ledger.charge("x", 3 * CLOCK_HZ)
+        assert ledger.snapshot().seconds() == pytest.approx(3.0)

@@ -1,0 +1,140 @@
+"""Unit tests: guest page tables, translation, linear windows."""
+
+import pytest
+
+from repro.hw.cycles import CycleLedger, free_cost_model
+from repro.hw.pagetable import GuestPageTable, LinearWindow, PageFault
+
+
+def make_table() -> GuestPageTable:
+    return GuestPageTable(0x40, cost=free_cost_model(),
+                          ledger=CycleLedger())
+
+
+class TestMapping:
+    def test_translate_mapped_page(self):
+        table = make_table()
+        table.map(0x10, 0x99)
+        assert table.translate(0x10_000 + 0x123, write=False,
+                               execute=False, cpl=0) == \
+            (0x99 << 12) | 0x123
+
+    def test_unmapped_raises_pagefault(self):
+        table = make_table()
+        with pytest.raises(PageFault):
+            table.translate(0x5000, write=False, execute=False, cpl=0)
+
+    def test_unmap_removes_translation(self):
+        table = make_table()
+        table.map(5, 7)
+        table.unmap(5)
+        with pytest.raises(PageFault):
+            table.translate(5 << 12, write=False, execute=False, cpl=0)
+
+    def test_write_protection(self):
+        table = make_table()
+        table.map(5, 7, writable=False)
+        table.translate(5 << 12, write=False, execute=False, cpl=0)
+        with pytest.raises(PageFault):
+            table.translate(5 << 12, write=True, execute=False, cpl=0)
+
+    def test_user_bit_blocks_cpl3(self):
+        table = make_table()
+        table.map(5, 7, user=False)
+        table.translate(5 << 12, write=False, execute=False, cpl=0)
+        with pytest.raises(PageFault):
+            table.translate(5 << 12, write=False, execute=False, cpl=3)
+
+    def test_nx_blocks_execute(self):
+        table = make_table()
+        table.map(5, 7, nx=True)
+        with pytest.raises(PageFault):
+            table.translate(5 << 12, write=False, execute=True, cpl=0)
+        table.map(6, 8, nx=False)
+        table.translate(6 << 12, write=False, execute=True, cpl=0)
+
+    def test_protect_updates_flags(self):
+        table = make_table()
+        table.map(5, 7, writable=True)
+        table.protect(5, writable=False)
+        with pytest.raises(PageFault):
+            table.translate(5 << 12, write=True, execute=False, cpl=0)
+
+    def test_protect_unmapped_raises(self):
+        with pytest.raises(PageFault):
+            make_table().protect(5, writable=False)
+
+
+class TestLinearWindows:
+    def window(self) -> LinearWindow:
+        return LinearWindow(base_vpn=0x1000, count=16, ppn_base=0x200,
+                            writable=True, user=False, nx=True)
+
+    def test_window_translation(self):
+        table = make_table()
+        table.add_window(self.window())
+        paddr = table.translate((0x1003 << 12) + 5, write=True,
+                                execute=False, cpl=0)
+        assert paddr == (0x203 << 12) + 5
+
+    def test_window_bounds(self):
+        table = make_table()
+        table.add_window(self.window())
+        with pytest.raises(PageFault):
+            table.translate(0x1010 << 12, write=False, execute=False,
+                            cpl=0)
+
+    def test_explicit_entry_overrides_window(self):
+        table = make_table()
+        table.add_window(self.window())
+        table.map(0x1003, 0x99)
+        paddr = table.translate(0x1003 << 12, write=False, execute=False,
+                                cpl=0)
+        assert paddr == 0x99 << 12
+
+    def test_unmap_overrides_window(self):
+        table = make_table()
+        table.add_window(self.window())
+        table.unmap(0x1003)
+        with pytest.raises(PageFault):
+            table.translate(0x1003 << 12, write=False, execute=False,
+                            cpl=0)
+
+    def test_protect_materializes_window_entry(self):
+        table = make_table()
+        table.add_window(self.window())
+        table.protect(0x1003, writable=False)
+        with pytest.raises(PageFault):
+            table.translate(0x1003 << 12, write=True, execute=False,
+                            cpl=0)
+        # Other window pages remain writable.
+        table.translate(0x1004 << 12, write=True, execute=False, cpl=0)
+
+
+class TestClone:
+    def test_clone_copies_entries_and_windows(self):
+        table = make_table()
+        table.map(5, 7, writable=False)
+        table.add_window(LinearWindow(base_vpn=0x1000, count=4,
+                                      ppn_base=0x200))
+        clone = table.clone(0x50)
+        assert clone.root_ppn == 0x50
+        assert clone.entry(5).ppn == 7
+        assert clone.translate(0x1001 << 12, write=True, execute=False,
+                               cpl=0) == 0x201 << 12
+
+    def test_clone_is_independent(self):
+        table = make_table()
+        table.map(5, 7)
+        clone = table.clone(0x50)
+        clone.map(5, 9)
+        assert table.entry(5).ppn == 7
+        assert clone.entry(5).ppn == 9
+
+    def test_entries_snapshot_excludes_non_present(self):
+        table = make_table()
+        table.map(5, 7)
+        table.map(6, 8)
+        table.unmap(6)
+        entries = table.entries()
+        assert 5 in entries and 6 not in entries

@@ -1,0 +1,243 @@
+"""Unit tests: the in-memory filesystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.fs import (FileSystem, InodeType, O_APPEND, O_CREAT,
+                             O_EXCL, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY,
+                             Pipe, SEEK_CUR, SEEK_END, SEEK_SET)
+
+
+@pytest.fixture
+def fs():
+    filesystem = FileSystem()
+    filesystem.mkdir("/tmp")
+    return filesystem
+
+
+class TestPathResolution:
+    def test_root_resolves(self, fs):
+        assert fs.resolve("/").itype == InodeType.DIR
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(KernelError) as err:
+            fs.resolve("tmp/x")
+        assert err.value.errno == 22
+
+    def test_missing_component_enoent(self, fs):
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/tmp/missing")
+        assert err.value.errno == 2
+
+    def test_file_as_directory_enotdir(self, fs):
+        fs.create("/tmp/file")
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/tmp/file/child")
+        assert err.value.errno == 20
+
+    def test_overlong_name_rejected(self, fs):
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/" + "a" * 300)
+        assert err.value.errno == 36
+
+    def test_symlink_followed(self, fs):
+        fs.create("/tmp/target")
+        fs.symlink("/tmp/target", "/tmp/link")
+        assert fs.resolve("/tmp/link") is fs.resolve("/tmp/target")
+
+    def test_symlink_nofollow(self, fs):
+        fs.create("/tmp/target")
+        fs.symlink("/tmp/target", "/tmp/link")
+        assert fs.resolve("/tmp/link",
+                          follow=False).itype == InodeType.SYMLINK
+
+    def test_symlink_loop_eloop(self, fs):
+        fs.symlink("/tmp/b", "/tmp/a")
+        fs.symlink("/tmp/a", "/tmp/b")
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/tmp/a")
+        assert err.value.errno == 40
+
+
+class TestNamespaceOps:
+    def test_create_and_exists(self, fs):
+        fs.create("/tmp/x")
+        assert fs.exists("/tmp/x")
+        assert not fs.exists("/tmp/y")
+
+    def test_create_exclusive(self, fs):
+        fs.create("/tmp/x")
+        with pytest.raises(KernelError) as err:
+            fs.create("/tmp/x", exclusive=True)
+        assert err.value.errno == 17
+
+    def test_mkdir_rmdir(self, fs):
+        fs.mkdir("/tmp/dir")
+        assert fs.resolve("/tmp/dir").itype == InodeType.DIR
+        fs.rmdir("/tmp/dir")
+        assert not fs.exists("/tmp/dir")
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        fs.mkdir("/tmp/dir")
+        fs.create("/tmp/dir/f")
+        with pytest.raises(KernelError) as err:
+            fs.rmdir("/tmp/dir")
+        assert err.value.errno == 39
+
+    def test_hard_link_shares_inode(self, fs):
+        fs.create("/tmp/orig")
+        fs.link("/tmp/orig", "/tmp/alias")
+        assert fs.resolve("/tmp/alias") is fs.resolve("/tmp/orig")
+        assert fs.resolve("/tmp/orig").nlink == 2
+
+    def test_hard_link_to_directory_rejected(self, fs):
+        fs.mkdir("/tmp/dir")
+        with pytest.raises(KernelError):
+            fs.link("/tmp/dir", "/tmp/alias")
+
+    def test_unlink_decrements_nlink(self, fs):
+        fs.create("/tmp/orig")
+        fs.link("/tmp/orig", "/tmp/alias")
+        fs.unlink("/tmp/orig")
+        assert not fs.exists("/tmp/orig")
+        assert fs.resolve("/tmp/alias").nlink == 1
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/tmp/dir")
+        with pytest.raises(KernelError) as err:
+            fs.unlink("/tmp/dir")
+        assert err.value.errno == 21
+
+    def test_rename_moves_inode(self, fs):
+        inode = fs.create("/tmp/a")
+        fs.rename("/tmp/a", "/tmp/b")
+        assert not fs.exists("/tmp/a")
+        assert fs.resolve("/tmp/b") is inode
+
+    def test_rename_overwrites_target(self, fs):
+        fs.create("/tmp/a")
+        fs.create("/tmp/b")
+        fs.rename("/tmp/a", "/tmp/b")
+        assert not fs.exists("/tmp/a")
+
+    def test_listdir_sorted(self, fs):
+        for name in ("zebra", "alpha", "mid"):
+            fs.create(f"/tmp/{name}")
+        assert fs.listdir("/tmp") == ["alpha", "mid", "zebra"]
+
+
+class TestFileIo:
+    def test_write_read_roundtrip(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        assert fs.write(handle, b"hello") == 5
+        fs.lseek(handle, 0, SEEK_SET)
+        assert fs.read(handle, 10) == b"hello"
+
+    def test_read_past_eof_returns_short(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"abc")
+        fs.lseek(handle, 0, SEEK_SET)
+        assert fs.read(handle, 100) == b"abc"
+        assert fs.read(handle, 100) == b""
+
+    def test_sparse_write_zero_fills(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.lseek(handle, 10, SEEK_SET)
+        fs.write(handle, b"x")
+        fs.lseek(handle, 0, SEEK_SET)
+        assert fs.read(handle, 11) == b"\x00" * 10 + b"x"
+
+    def test_append_mode(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"start")
+        appender = fs.open("/tmp/f", O_RDWR | O_APPEND)
+        fs.write(appender, b"-end")
+        assert bytes(fs.resolve("/tmp/f").data) == b"start-end"
+
+    def test_trunc_flag_clears(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"content")
+        fs.open("/tmp/f", O_RDWR | O_TRUNC)
+        assert fs.resolve("/tmp/f").size == 0
+
+    def test_readonly_write_rejected(self, fs):
+        fs.create("/tmp/f")
+        handle = fs.open("/tmp/f", O_RDONLY)
+        with pytest.raises(KernelError) as err:
+            fs.write(handle, b"x")
+        assert err.value.errno == 9
+
+    def test_writeonly_read_rejected(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_WRONLY)
+        with pytest.raises(KernelError):
+            fs.read(handle, 1)
+
+    def test_lseek_modes(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"0123456789")
+        assert fs.lseek(handle, 2, SEEK_SET) == 2
+        assert fs.lseek(handle, 3, SEEK_CUR) == 5
+        assert fs.lseek(handle, -1, SEEK_END) == 9
+        with pytest.raises(KernelError):
+            fs.lseek(handle, -100, SEEK_SET)
+
+    def test_truncate_shrink_and_grow(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"0123456789")
+        fs.truncate("/tmp/f", 4)
+        assert bytes(fs.resolve("/tmp/f").data) == b"0123"
+        fs.truncate("/tmp/f", 8)
+        assert fs.resolve("/tmp/f").size == 8
+
+    def test_stat_fields(self, fs):
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        fs.write(handle, b"xyz")
+        info = fs.stat("/tmp/f")
+        assert info["size"] == 3
+        assert info["type"] == "file"
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), min_size=1,
+                    max_size=20))
+    def test_sequential_writes_concatenate(self, chunks):
+        fs = FileSystem()
+        fs.mkdir("/tmp")
+        handle = fs.open("/tmp/f", O_CREAT | O_RDWR)
+        for chunk in chunks:
+            fs.write(handle, chunk)
+        assert bytes(fs.resolve("/tmp/f").data) == b"".join(chunks)
+
+
+class TestPipesAndFifos:
+    def test_pipe_fifo_order(self):
+        pipe = Pipe()
+        pipe.write(b"first")
+        pipe.write(b"second")
+        assert pipe.read(5) == b"first"
+        assert pipe.read(100) == b"second"
+
+    def test_pipe_capacity(self):
+        pipe = Pipe(capacity=4)
+        assert pipe.write(b"abcdef") == 4
+        assert pipe.read(10) == b"abcd"
+
+    def test_pipe_epipe_after_reader_close(self):
+        pipe = Pipe()
+        pipe.read_open = False
+        with pytest.raises(KernelError) as err:
+            pipe.write(b"x")
+        assert err.value.errno == 32
+
+    def test_fifo_inode(self, fs):
+        fs.mknod_fifo("/tmp/fifo")
+        writer = fs.open("/tmp/fifo", O_WRONLY)
+        reader = fs.open("/tmp/fifo", O_RDONLY)
+        fs.write(writer, b"through the fifo")
+        assert fs.read(reader, 100) == b"through the fifo"
+
+    def test_fifo_seek_rejected(self, fs):
+        fs.mknod_fifo("/tmp/fifo")
+        handle = fs.open("/tmp/fifo", O_RDONLY)
+        with pytest.raises(KernelError) as err:
+            fs.lseek(handle, 0, SEEK_SET)
+        assert err.value.errno == 29

@@ -1,0 +1,114 @@
+"""Unit tests: the loopback network stack."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.net import (AF_INET, AF_UNIX, NetworkStack, SOCK_STREAM,
+                              SocketState)
+
+
+@pytest.fixture
+def net():
+    return NetworkStack()
+
+
+def connected_pair(net):
+    server = net.socket(AF_INET, SOCK_STREAM)
+    net.bind(server, "127.0.0.1", 80)
+    net.listen(server, 4)
+    client = net.socket(AF_INET, SOCK_STREAM)
+    net.connect(client, "127.0.0.1", 80)
+    conn = net.accept(server)
+    return client, conn, server
+
+
+class TestLifecycle:
+    def test_connect_accept_flow(self, net):
+        client, conn, _server = connected_pair(net)
+        assert client.state == SocketState.CONNECTED
+        assert conn.state == SocketState.CONNECTED
+
+    def test_connect_refused_without_listener(self, net):
+        client = net.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(KernelError) as err:
+            net.connect(client, "127.0.0.1", 9999)
+        assert err.value.errno == 111
+
+    def test_bind_conflict(self, net):
+        a = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(a, "0.0.0.0", 80)
+        b = net.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(KernelError) as err:
+            net.bind(b, "0.0.0.0", 80)
+        assert err.value.errno == 98
+
+    def test_listen_without_bind_rejected(self, net):
+        sock = net.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(KernelError):
+            net.listen(sock, 4)
+
+    def test_accept_empty_backlog_eagain(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 4)
+        with pytest.raises(KernelError) as err:
+            net.accept(server)
+        assert err.value.errno == 11
+
+    def test_backlog_limit(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 1)
+        net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+        with pytest.raises(KernelError):
+            net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+
+    def test_unbind_frees_port(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 4)
+        net.unbind(server)
+        replacement = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(replacement, "0.0.0.0", 80)
+
+    def test_invalid_family_rejected(self, net):
+        with pytest.raises(KernelError):
+            net.socket(99, SOCK_STREAM)
+
+
+class TestDataPath:
+    def test_bidirectional_bytes(self, net):
+        client, conn, _ = connected_pair(net)
+        client.send(b"request")
+        assert conn.recv(100) == b"request"
+        conn.send(b"response")
+        assert client.recv(100) == b"response"
+
+    def test_recv_drains_in_order(self, net):
+        client, conn, _ = connected_pair(net)
+        client.send(b"aaa")
+        client.send(b"bbb")
+        assert conn.recv(3) == b"aaa"
+        assert conn.recv(3) == b"bbb"
+
+    def test_recv_empty_returns_nothing(self, net):
+        client, conn, _ = connected_pair(net)
+        assert conn.recv(10) == b""
+
+    def test_send_on_unconnected_rejected(self, net):
+        sock = net.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(KernelError) as err:
+            sock.send(b"x")
+        assert err.value.errno == 107
+
+    def test_close_flags_peer(self, net):
+        client, conn, _ = connected_pair(net)
+        client.close()
+        assert conn.endpoint.peer_closed
+
+    def test_socketpair(self, net):
+        left, right = net.socketpair(AF_UNIX, SOCK_STREAM)
+        left.send(b"ping")
+        assert right.recv(10) == b"ping"
+        right.send(b"pong")
+        assert left.recv(10) == b"pong"

@@ -1,0 +1,128 @@
+"""Unit tests: processes, scheduler, kernel boot plumbing."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import layout
+from repro.kernel.process import FileDescriptor, Process
+from repro.kernel.scheduler import Scheduler
+
+
+class TestProcess:
+    def test_pids_unique(self, native):
+        a = native.kernel.create_process("a")
+        b = native.kernel.create_process("b")
+        assert a.pid != b.pid
+
+    def test_stdio_fds_preinstalled(self, native):
+        proc = native.kernel.create_process("p")
+        for fd in (0, 1, 2):
+            assert proc.fd(fd).kind == "file"
+
+    def test_fd_install_and_remove(self, native):
+        proc = native.kernel.create_process("p")
+        fd = proc.install_fd(FileDescriptor("file", object()))
+        assert fd >= 3
+        proc.remove_fd(fd)
+        with pytest.raises(KernelError):
+            proc.fd(fd)
+
+    def test_mmap_range_reservation_monotonic(self, native):
+        proc = native.kernel.create_process("p")
+        first = proc.reserve_mmap_range(4)
+        second = proc.reserve_mmap_range(2)
+        assert second >= first + 4 * 4096
+
+    def test_region_containing(self, native):
+        proc = native.kernel.create_process("p")
+        region = proc.region_containing(layout.USER_CODE_BASE)
+        assert region is not None and region.kind == "code"
+        assert proc.region_containing(0x1234) is None
+
+    def test_user_pages_isolated_between_processes(self, native):
+        kernel = native.kernel
+        core = native.boot_core
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        stack = layout.USER_STACK_TOP - 4096
+        core.regs.cr3, core.regs.cpl = a.page_table.root_ppn, 3
+        core.write(stack, b"A-private")
+        core.regs.cr3 = b.page_table.root_ppn
+        assert core.read(stack, 9) != b"A-private"
+
+    def test_destroy_process_frees_frames(self, native):
+        kernel = native.kernel
+        proc = kernel.create_process("gone")
+        allocated = native.machine.frames.allocated_count
+        kernel.destroy_process(proc)
+        assert native.machine.frames.allocated_count < allocated
+
+
+class TestScheduler:
+    def test_round_robin_order(self):
+        sched = Scheduler()
+        procs = [Process(f"p{i}", page_table=None) for i in range(3)]
+        for proc in procs:
+            sched.add(proc)
+        seen = [sched.pick_next() for _ in range(4)]
+        assert seen[:3] == [procs[1], procs[2], procs[0]]
+        assert seen[3] == procs[1]
+
+    def test_remove_current_advances(self):
+        sched = Scheduler()
+        procs = [Process(f"p{i}", page_table=None) for i in range(2)]
+        for proc in procs:
+            sched.add(proc)
+        sched.remove(procs[0])
+        assert sched.current is procs[1]
+
+    def test_tick_fires_on_interval(self, native):
+        sched = native.kernel.scheduler
+        core = native.boot_core
+        sched._last_tick_total = native.machine.ledger.total
+        assert not sched.maybe_tick(core)
+        native.machine.ledger.charge("compute",
+                                     sched.tick_interval_cycles + 1)
+        assert sched.maybe_tick(core)
+        assert sched.tick_count >= 1
+
+    def test_empty_scheduler_pick(self):
+        assert Scheduler().pick_next() is None
+
+
+class TestKernelBoot:
+    def test_kernel_text_installed(self, native):
+        core = native.boot_core
+        with native.kernel.kernel_context(core):
+            data = core.read(layout.KERNEL_TEXT_BASE, 256)
+        assert data == bytes(range(256))
+
+    def test_symbol_table_in_text_region(self, native):
+        for addr in native.kernel.symbol_table.values():
+            assert layout.KERNEL_TEXT_BASE <= addr < \
+                layout.KERNEL_TEXT_BASE + \
+                layout.KERNEL_TEXT_PAGES * 4096
+
+    def test_idt_handler_registered(self, native):
+        assert native.machine.idt_handler_vaddr != 0
+
+    def test_ghcb_per_core(self, native):
+        assert set(native.kernel.ghcb_ppns) == \
+            set(range(len(native.machine.cores)))
+
+    def test_double_boot_rejected(self, native):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            native.kernel.boot(native.boot_core)
+
+    def test_devfs_populated(self, native):
+        assert native.kernel.fs.exists("/dev/console")
+        assert native.kernel.fs.exists("/tmp")
+
+    def test_hotplug_vcpu_native(self, native):
+        core = native.boot_core
+        with native.kernel.kernel_context(core):
+            native.kernel.hotplug_vcpu(core, 1)
+        second = native.machine.core(1)
+        assert second.instance is not None
+        assert second.instance.vmpl == 0

@@ -1,0 +1,372 @@
+"""Integration tests: syscall dispatch on a booted native CVM."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import layout
+from repro.kernel.fs import O_CREAT, O_RDWR, SEEK_SET
+from repro.kernel.net import AF_INET, AF_UNIX, SOCK_STREAM
+from repro.kernel.syscalls import (MAP_ANONYMOUS, MAP_PRIVATE, PROT_EXEC,
+                                   PROT_READ, PROT_WRITE)
+
+
+@pytest.fixture
+def env(native_proc):
+    """(kernel, core, proc, buf) with a user scratch buffer armed."""
+    system, core, proc = native_proc
+    core.regs.cr3 = proc.page_table.root_ppn
+    core.regs.cpl = 3
+    buf = layout.USER_STACK_TOP - 8192
+    return system.kernel, core, proc, buf
+
+
+def user_write(core, proc, vaddr, data):
+    prev = core.regs.cr3, core.regs.cpl
+    core.regs.cr3, core.regs.cpl = proc.page_table.root_ppn, 3
+    core.write(vaddr, data)
+    core.regs.cr3, core.regs.cpl = prev
+
+
+def user_read(core, proc, vaddr, length):
+    prev = core.regs.cr3, core.regs.cpl
+    core.regs.cr3, core.regs.cpl = proc.page_table.root_ppn, 3
+    data = core.read(vaddr, length)
+    core.regs.cr3, core.regs.cpl = prev
+    return data
+
+
+class TestFileSyscalls:
+    def test_open_write_read_close(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/f", O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"data through syscalls")
+        assert kernel.syscall(core, proc, "write", fd, buf, 21) == 21
+        kernel.syscall(core, proc, "lseek", fd, 0, SEEK_SET)
+        assert kernel.syscall(core, proc, "read", fd, buf + 4096, 21) == 21
+        assert user_read(core, proc, buf + 4096, 21) == \
+            b"data through syscalls"
+        assert kernel.syscall(core, proc, "close", fd) == 0
+
+    def test_bad_fd_errno(self, env):
+        kernel, core, proc, buf = env
+        with pytest.raises(KernelError) as err:
+            kernel.syscall(core, proc, "read", 99, buf, 1)
+        assert err.value.errno == 9
+
+    def test_unimplemented_syscall_enosys(self, env):
+        kernel, core, proc, _ = env
+        with pytest.raises(KernelError) as err:
+            kernel.syscall(core, proc, "ptrace")
+        assert err.value.errno == 38
+
+    def test_pread_pwrite_do_not_move_offset(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/f", O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"0123456789")
+        kernel.syscall(core, proc, "write", fd, buf, 10)
+        kernel.syscall(core, proc, "lseek", fd, 3, SEEK_SET)
+        kernel.syscall(core, proc, "pread", fd, buf + 4096, 4, 0)
+        assert user_read(core, proc, buf + 4096, 4) == b"0123"
+        assert kernel.syscall(core, proc, "lseek", fd, 0, 1) == 3
+
+    def test_readv_writev(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/v", O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"AAAA")
+        user_write(core, proc, buf + 100, b"BB")
+        wrote = kernel.syscall(core, proc, "writev", fd,
+                               [(buf, 4), (buf + 100, 2)])
+        assert wrote == 6
+        kernel.syscall(core, proc, "lseek", fd, 0, SEEK_SET)
+        got = kernel.syscall(core, proc, "readv", fd,
+                             [(buf + 200, 3), (buf + 300, 3)])
+        assert got == 6
+        assert user_read(core, proc, buf + 200, 3) == b"AAA"
+        assert user_read(core, proc, buf + 300, 3) == b"ABB"
+
+    def test_stat_and_fstat(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/s", O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"xyz")
+        kernel.syscall(core, proc, "write", fd, buf, 3)
+        assert kernel.syscall(core, proc, "stat", "/tmp/s")["size"] == 3
+        assert kernel.syscall(core, proc, "fstat", fd)["size"] == 3
+
+    def test_namespace_calls(self, env):
+        kernel, core, proc, buf = env
+        kernel.syscall(core, proc, "mkdir", "/tmp/d")
+        fd = kernel.syscall(core, proc, "creat", "/tmp/d/f")
+        kernel.syscall(core, proc, "close", fd)
+        kernel.syscall(core, proc, "link", "/tmp/d/f", "/tmp/d/g")
+        kernel.syscall(core, proc, "symlink", "/tmp/d/f", "/tmp/d/sym")
+        got = kernel.syscall(core, proc, "readlink", "/tmp/d/sym", buf, 64)
+        assert user_read(core, proc, buf, got) == b"/tmp/d/f"
+        kernel.syscall(core, proc, "rename", "/tmp/d/g", "/tmp/d/h")
+        kernel.syscall(core, proc, "unlink", "/tmp/d/h")
+        kernel.syscall(core, proc, "unlink", "/tmp/d/sym")
+        kernel.syscall(core, proc, "unlink", "/tmp/d/f")
+        kernel.syscall(core, proc, "rmdir", "/tmp/d")
+        assert not kernel.fs.exists("/tmp/d")
+
+    def test_chmod_and_truncate(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "creat", "/tmp/c")
+        kernel.syscall(core, proc, "chmod", "/tmp/c", 0o600)
+        assert kernel.fs.resolve("/tmp/c").mode == 0o600
+        kernel.syscall(core, proc, "fchmod", fd, 0o640)
+        assert kernel.fs.resolve("/tmp/c").mode == 0o640
+        kernel.syscall(core, proc, "truncate", "/tmp/c", 100)
+        assert kernel.fs.resolve("/tmp/c").size == 100
+        kernel.syscall(core, proc, "ftruncate", fd, 10)
+        assert kernel.fs.resolve("/tmp/c").size == 10
+
+    def test_sendfile(self, env):
+        kernel, core, proc, buf = env
+        src = kernel.syscall(core, proc, "open", "/tmp/src",
+                             O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"payload")
+        kernel.syscall(core, proc, "write", src, buf, 7)
+        kernel.syscall(core, proc, "lseek", src, 0, SEEK_SET)
+        dst = kernel.syscall(core, proc, "open", "/tmp/dst",
+                             O_CREAT | O_RDWR)
+        assert kernel.syscall(core, proc, "sendfile", dst, src, 7) == 7
+        assert bytes(kernel.fs.resolve("/tmp/dst").data) == b"payload"
+
+    def test_getdents(self, env):
+        kernel, core, proc, _ = env
+        kernel.syscall(core, proc, "mkdir", "/tmp/list")
+        kernel.syscall(core, proc, "creat", "/tmp/list/one")
+        kernel.syscall(core, proc, "creat", "/tmp/list/two")
+        fd = kernel.syscall(core, proc, "open", "/tmp/list")
+        assert kernel.syscall(core, proc, "getdents", fd) == ["one", "two"]
+
+
+class TestFdSyscalls:
+    def test_dup_shares_offset(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/f", O_CREAT | O_RDWR)
+        dup = kernel.syscall(core, proc, "dup", fd)
+        user_write(core, proc, buf, b"abcdef")
+        kernel.syscall(core, proc, "write", fd, buf, 6)
+        # dup'd description shares the offset
+        assert kernel.syscall(core, proc, "read", dup, buf, 6) == 0
+
+    def test_dup2_replaces(self, env):
+        kernel, core, proc, _ = env
+        a = kernel.syscall(core, proc, "creat", "/tmp/a")
+        b = kernel.syscall(core, proc, "creat", "/tmp/b")
+        kernel.syscall(core, proc, "dup2", a, b)
+        assert proc.fd(b).obj is proc.fd(a).obj
+
+    def test_dup3_equal_fds_rejected(self, env):
+        kernel, core, proc, _ = env
+        fd = kernel.syscall(core, proc, "creat", "/tmp/a")
+        with pytest.raises(KernelError):
+            kernel.syscall(core, proc, "dup3", fd, fd)
+
+    def test_pipe_roundtrip(self, env):
+        kernel, core, proc, buf = env
+        rfd, wfd = kernel.syscall(core, proc, "pipe")
+        user_write(core, proc, buf, b"through pipe")
+        kernel.syscall(core, proc, "write", wfd, buf, 12)
+        assert kernel.syscall(core, proc, "read", rfd, buf + 256, 12) == 12
+        assert user_read(core, proc, buf + 256, 12) == b"through pipe"
+
+    def test_pipe_wrong_end_rejected(self, env):
+        kernel, core, proc, buf = env
+        rfd, wfd = kernel.syscall(core, proc, "pipe")
+        with pytest.raises(KernelError):
+            kernel.syscall(core, proc, "write", rfd, buf, 1)
+        with pytest.raises(KernelError):
+            kernel.syscall(core, proc, "read", wfd, buf, 1)
+
+    def test_fcntl_dupfd(self, env):
+        kernel, core, proc, _ = env
+        fd = kernel.syscall(core, proc, "creat", "/tmp/a")
+        dup = kernel.syscall(core, proc, "fcntl", fd, 0)
+        assert proc.fd(dup).obj is proc.fd(fd).obj
+
+
+class TestMemorySyscalls:
+    def test_mmap_munmap(self, env):
+        kernel, core, proc, _ = env
+        addr = kernel.syscall(core, proc, "mmap", 0, 3 * 4096,
+                              PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS)
+        user_write(core, proc, addr, b"mapped!")
+        assert user_read(core, proc, addr, 7) == b"mapped!"
+        assert kernel.syscall(core, proc, "munmap", addr, 3 * 4096) == 0
+        from repro.hw.pagetable import PageFault
+        with pytest.raises(PageFault):
+            user_read(core, proc, addr, 1)
+
+    def test_mmap_zero_filled(self, env):
+        kernel, core, proc, _ = env
+        addr = kernel.syscall(core, proc, "mmap", 0, 4096,
+                              PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS)
+        assert user_read(core, proc, addr, 64) == b"\x00" * 64
+
+    def test_mmap_file_contents(self, env):
+        kernel, core, proc, buf = env
+        fd = kernel.syscall(core, proc, "open", "/tmp/m", O_CREAT | O_RDWR)
+        user_write(core, proc, buf, b"file-backed")
+        kernel.syscall(core, proc, "write", fd, buf, 11)
+        addr = kernel.syscall(core, proc, "mmap", 0, 4096,
+                              PROT_READ | PROT_WRITE, MAP_PRIVATE, fd, 0)
+        assert user_read(core, proc, addr, 11) == b"file-backed"
+
+    def test_mprotect_write_protection(self, env):
+        kernel, core, proc, _ = env
+        addr = kernel.syscall(core, proc, "mmap", 0, 4096,
+                              PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS)
+        kernel.syscall(core, proc, "mprotect", addr, 4096, PROT_READ)
+        from repro.hw.pagetable import PageFault
+        with pytest.raises(PageFault):
+            user_write(core, proc, addr, b"x")
+
+    def test_munmap_unknown_region_rejected(self, env):
+        kernel, core, proc, _ = env
+        with pytest.raises(KernelError):
+            kernel.syscall(core, proc, "munmap", 0x12345000, 4096)
+
+    def test_brk_growth(self, env):
+        kernel, core, proc, _ = env
+        new = kernel.syscall(core, proc, "brk",
+                             layout.USER_HEAP_BASE + 8192)
+        assert new == layout.USER_HEAP_BASE + 8192
+        user_write(core, proc, layout.USER_HEAP_BASE, b"heap!")
+
+
+class TestNetworkSyscalls:
+    def test_server_client_flow(self, env):
+        kernel, core, proc, buf = env
+        server = kernel.syscall(core, proc, "socket", AF_INET, SOCK_STREAM)
+        kernel.syscall(core, proc, "bind", server, "127.0.0.1", 7000)
+        kernel.syscall(core, proc, "listen", server, 4)
+        client = kernel.syscall(core, proc, "socket", AF_INET, SOCK_STREAM)
+        kernel.syscall(core, proc, "connect", client, "127.0.0.1", 7000)
+        conn = kernel.syscall(core, proc, "accept", server)
+        user_write(core, proc, buf, b"GET /")
+        kernel.syscall(core, proc, "sendto", client, buf, 5)
+        got = kernel.syscall(core, proc, "recvfrom", conn, buf + 256, 64)
+        assert got == 5
+        assert user_read(core, proc, buf + 256, 5) == b"GET /"
+
+    def test_socketpair_syscall(self, env):
+        kernel, core, proc, buf = env
+        left, right = kernel.syscall(core, proc, "socketpair", AF_UNIX,
+                                     SOCK_STREAM)
+        user_write(core, proc, buf, b"hello")
+        kernel.syscall(core, proc, "sendto", left, buf, 5)
+        assert kernel.syscall(core, proc, "recvfrom", right,
+                              buf + 128, 5) == 5
+
+    def test_close_unbinds_listener(self, env):
+        kernel, core, proc, _ = env
+        server = kernel.syscall(core, proc, "socket", AF_INET, SOCK_STREAM)
+        kernel.syscall(core, proc, "bind", server, "127.0.0.1", 7001)
+        kernel.syscall(core, proc, "listen", server, 4)
+        kernel.syscall(core, proc, "close", server)
+        replacement = kernel.syscall(core, proc, "socket", AF_INET,
+                                     SOCK_STREAM)
+        kernel.syscall(core, proc, "bind", replacement, "127.0.0.1", 7001)
+
+
+class TestProcessSyscalls:
+    def test_identity(self, env):
+        kernel, core, proc, _ = env
+        assert kernel.syscall(core, proc, "getpid") == proc.pid
+        assert kernel.syscall(core, proc, "getuid") == 0
+
+    def test_setuid_drops_privilege(self, env):
+        kernel, core, proc, _ = env
+        kernel.syscall(core, proc, "setuid", 1000)
+        assert proc.uid == 1000
+        with pytest.raises(KernelError) as err:
+            kernel.syscall(core, proc, "setuid", 0)
+        assert err.value.errno == 1
+
+    def test_fork_copies_memory(self, env):
+        kernel, core, proc, buf = env
+        user_write(core, proc, buf, b"parent data")
+        child_pid = kernel.syscall(core, proc, "fork")
+        child = kernel.processes[child_pid]
+        prev = core.regs.cr3, core.regs.cpl
+        core.regs.cr3, core.regs.cpl = child.page_table.root_ppn, 3
+        assert core.read(buf, 11) == b"parent data"
+        core.regs.cr3, core.regs.cpl = prev
+
+    def test_fork_memory_is_copied_not_shared(self, env):
+        kernel, core, proc, buf = env
+        user_write(core, proc, buf, b"original")
+        child = kernel.processes[kernel.syscall(core, proc, "fork")]
+        user_write(core, proc, buf, b"modified")
+        prev = core.regs.cr3, core.regs.cpl
+        core.regs.cr3, core.regs.cpl = child.page_table.root_ppn, 3
+        assert core.read(buf, 8) == b"original"
+        core.regs.cr3, core.regs.cpl = prev
+
+    def test_exit_and_wait(self, env):
+        kernel, core, proc, _ = env
+        child_pid = kernel.syscall(core, proc, "fork")
+        child = kernel.processes[child_pid]
+        kernel.syscall(core, child, "exit", 7)
+        assert kernel.syscall(core, proc, "wait4") == (child_pid, 7)
+
+    def test_wait_without_children_echild(self, env):
+        kernel, core, proc, _ = env
+        with pytest.raises(KernelError) as err:
+            kernel.syscall(core, proc, "wait4")
+        assert err.value.errno == 10
+
+    def test_execve_requires_existing_path(self, env):
+        kernel, core, proc, _ = env
+        kernel.syscall(core, proc, "creat", "/tmp/prog")
+        kernel.syscall(core, proc, "execve", "/tmp/prog", [])
+        assert proc.name == "prog"
+        with pytest.raises(KernelError):
+            kernel.syscall(core, proc, "execve", "/tmp/missing", [])
+
+
+class TestMiscSyscalls:
+    def test_uname(self, env):
+        kernel, core, proc, _ = env
+        assert "veil" in kernel.syscall(core, proc, "uname")["release"]
+
+    def test_getrandom_fills_buffer(self, env):
+        kernel, core, proc, buf = env
+        got = kernel.syscall(core, proc, "getrandom", buf, 32)
+        assert got == 32
+        assert user_read(core, proc, buf, 32) != b"\x00" * 32
+
+    def test_clock_gettime_monotonic(self, env):
+        kernel, core, proc, _ = env
+        first = kernel.syscall(core, proc, "clock_gettime")
+        kernel.machine.ledger.charge("compute", 30000)
+        assert kernel.syscall(core, proc, "clock_gettime") > first
+
+    def test_console_write_reaches_hypervisor(self, env):
+        kernel, core, proc, buf = env
+        line = b"x" * 2048
+        user_write(core, proc, buf, line)
+        kernel.syscall(core, proc, "write", 1, buf, 2048)
+        kernel.syscall(core, proc, "write", 1, buf, 2048)   # forces flush
+        hv = kernel.machine.hypervisor
+        assert len(hv.console.output) >= 4096
+
+    def test_ioctl_on_regular_file_enotty(self, env):
+        kernel, core, proc, _ = env
+        fd = kernel.syscall(core, proc, "creat", "/tmp/reg")
+        with pytest.raises(KernelError) as err:
+            kernel.syscall(core, proc, "ioctl", fd, 0x1234)
+        assert err.value.errno == 25
+
+    def test_syscall_counters(self, env):
+        kernel, core, proc, _ = env
+        before = kernel.syscalls.call_count
+        kernel.syscall(core, proc, "getpid")
+        kernel.syscall(core, proc, "getpid")
+        assert kernel.syscalls.call_count == before + 2
+        assert kernel.syscalls.per_syscall_counts["getpid"] >= 2

@@ -1,0 +1,47 @@
+"""Smoke tests: the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
+                                    "fig5", "fig6", "attacks", "ltp",
+                                    "export", "ablations", "all"}
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_boot(self, capsys):
+        main(["boot", "--memory-mb", "32"])
+        out = capsys.readouterr().out
+        assert "veils-kci" in out and "attestation: OK" in out
+
+    def test_cs1(self, capsys):
+        main(["cs1", "--reps", "5"])
+        out = capsys.readouterr().out
+        assert "KCI load" in out
+
+    def test_fig4(self, capsys):
+        main(["fig4", "--iterations", "5"])
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_attacks_exit_zero_when_all_defended(self, capsys):
+        main(["attacks"])
+        out = capsys.readouterr().out
+        assert "attacks defended" in out
+
+    def test_ltp_verbose(self, capsys):
+        main(["ltp", "--verbose"])
+        out = capsys.readouterr().out
+        assert "LTP conformance" in out
+        assert "ptrace" in out

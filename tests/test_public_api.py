@@ -1,0 +1,40 @@
+"""Smoke tests: the documented public API surface."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_surface(self):
+        """The README quickstart's names exist and compose."""
+        system = repro.boot_veil_system(repro.VeilConfig(
+            memory_bytes=32 * 1024 * 1024, num_cores=2,
+            log_storage_pages=64))
+        user = system.attest_and_connect()
+        system.integration.activate_kci(system.boot_core)
+        host = repro.EnclaveHost(system, repro.build_test_binary("app"))
+        host.launch()
+        secret = host.run(lambda libc: libc.getrandom(16))
+        assert len(secret) == 16
+
+    def test_subpackage_alls_resolve(self):
+        import repro.core as core
+        import repro.enclave as enclave
+        import repro.hw as hw
+        import repro.kernel as kernel
+        import repro.workloads as workloads
+        for module in (core, enclave, hw, kernel, workloads):
+            for name in module.__all__:
+                assert getattr(module, name) is not None
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.NestedPageFault, repro.HardwareFault)
+        assert issubclass(repro.HardwareFault, repro.ReproError)
+        assert issubclass(repro.SecurityViolation, repro.ReproError)
+        assert issubclass(repro.CvmHalted, repro.ReproError)

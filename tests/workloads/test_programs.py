@@ -1,0 +1,136 @@
+"""Functional tests: workload models do real work on the substrate."""
+
+import pytest
+
+from repro.workloads.audit_programs import (AUDITED_PROGRAMS,
+                                            audited_program_by_name)
+from repro.workloads.base import NativeApi, measure
+from repro.workloads.programs import (ENCLAVE_PROGRAMS, GZIP_CHUNKS,
+                                      LIGHTTPD_REQUESTS, SQLITE_INSERTS,
+                                      UNQLITE_INSERTS, program_by_name)
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.syscall_bench import SYSCALL_BENCHES, run_bench
+
+
+@pytest.fixture
+def api_env(native):
+    proc = native.kernel.create_process("workload")
+    return native, NativeApi(native.kernel, native.boot_core, proc)
+
+
+class TestEnclavePrograms:
+    def test_registry_and_lookup(self):
+        assert len(ENCLAVE_PROGRAMS) == 5
+        assert program_by_name("sqlite").name == "SQLite"
+        with pytest.raises(KeyError):
+            program_by_name("postgres")
+
+    def test_gzip_reads_and_writes_files(self, api_env):
+        native, api = api_env
+        program = program_by_name("GZip")
+        state = program.setup(native.kernel)
+        assert program.run(api, state) == GZIP_CHUNKS * 8192
+        out = native.kernel.fs.resolve("/tmp/out.gz")
+        assert out.size == GZIP_CHUNKS * 8192
+
+    def test_sqlite_writes_journal_and_db(self, api_env):
+        native, api = api_env
+        program = program_by_name("SQLite")
+        state = program.setup(native.kernel)
+        assert program.run(api, state) == SQLITE_INSERTS
+        assert native.kernel.fs.resolve("/tmp/test.db").size == \
+            SQLITE_INSERTS * 200
+        assert native.kernel.fs.resolve("/tmp/test.db-journal").size == \
+            SQLITE_INSERTS * 64
+
+    def test_unqlite_appends_values(self, api_env):
+        native, api = api_env
+        program = program_by_name("UnQlite")
+        state = program.setup(native.kernel)
+        program.run(api, state)
+        assert native.kernel.fs.resolve("/tmp/huge.unqlite").size == \
+            UNQLITE_INSERTS * 100
+
+    def test_lighttpd_serves_every_request(self, api_env):
+        native, api = api_env
+        program = program_by_name("Lighttpd")
+        state = program.setup(native.kernel)
+        assert program.run(api, state) == LIGHTTPD_REQUESTS
+
+    def test_mbedtls_runs_all_tests(self, api_env):
+        native, api = api_env
+        program = program_by_name("MbedTLS")
+        state = program.setup(native.kernel)
+        assert program.run(api, state) == 280
+
+    def test_runs_are_stable_in_cycles(self, native):
+        """Back-to-back runs agree to within timer-tick jitter."""
+        program = program_by_name("UnQlite")
+        results = []
+        for index in range(2):
+            proc = native.kernel.create_process(f"det-{index}")
+            api = NativeApi(native.kernel, native.boot_core, proc)
+            state = program.setup(native.kernel)
+            results.append(measure(native.machine, "run",
+                                   lambda: program.run(api, state)))
+        assert results[1].cycles == pytest.approx(results[0].cycles,
+                                                  rel=0.01)
+
+
+class TestAuditedPrograms:
+    def test_registry(self):
+        names = {program.name for program in AUDITED_PROGRAMS}
+        assert names == {"OpenSSL", "7-Zip", "Memcached", "SQLite",
+                         "NGINX"}
+
+    @pytest.mark.parametrize("name", ["OpenSSL", "7-Zip", "Memcached",
+                                      "SQLite", "NGINX"])
+    def test_each_program_completes(self, api_env, name):
+        native, api = api_env
+        program = audited_program_by_name(name)
+        state = program.setup(native.kernel)
+        assert program.run(api, state)
+
+    def test_memcached_exchanges_real_bytes(self, api_env):
+        native, api = api_env
+        program = audited_program_by_name("Memcached")
+        state = program.setup(native.kernel)
+        program.run(api, state)
+        # Every op answered the loopback client with a 512 B value.
+
+
+class TestSpecWorkloads:
+    def test_compute_workloads_charge_expected_cycles(self, api_env):
+        native, api = api_env
+        workload = SPEC_WORKLOADS[0]
+        before = native.machine.ledger.category("compute")
+        workload.run(api, workload.setup(native.kernel))
+        charged = native.machine.ledger.category("compute") - before
+        assert charged >= 89_000_000
+
+
+class TestSyscallBenches:
+    def test_all_seven_benches_present(self):
+        names = [bench.name for bench in SYSCALL_BENCHES]
+        assert names == ["open", "read", "write", "mmap", "munmap",
+                         "socket", "printf"]
+
+    @pytest.mark.parametrize("bench", SYSCALL_BENCHES,
+                             ids=lambda b: b.name)
+    def test_each_bench_runs_and_measures(self, api_env, bench):
+        native, api = api_env
+        stats = run_bench(native.machine, api, bench, iterations=5)
+        assert stats.cycles > 0
+
+    def test_measurement_excludes_reset_work(self, api_env):
+        """The munmap bench must not charge the re-mmap resets."""
+        native, api = api_env
+        mmap_bench = next(b for b in SYSCALL_BENCHES
+                          if b.name == "mmap")
+        munmap_bench = next(b for b in SYSCALL_BENCHES
+                            if b.name == "munmap")
+        mmap_stats = run_bench(native.machine, api, mmap_bench,
+                               iterations=10)
+        munmap_stats = run_bench(native.machine, api, munmap_bench,
+                                 iterations=10)
+        assert munmap_stats.cycles < mmap_stats.cycles

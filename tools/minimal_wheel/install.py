@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Install the minimal ``wheel`` shim into the active site-packages.
+
+Use on air-gapped machines where ``pip install wheel`` is impossible but
+``pip install -e .`` (PEP 660) needs setuptools' editable-wheel path.
+Skips installation when a real ``wheel`` distribution is already present.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.0.0+veil.minimal
+Summary: Minimal offline wheel shim (bdist_wheel + WheelFile only)
+"""
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> None:
+    """Copy the shim package + dist-info into site-packages."""
+    # The script's own directory contains the shim; drop it from the
+    # import path so the probe only sees genuinely installed copies.
+    sys.path = [p for p in sys.path
+                if os.path.abspath(p or os.getcwd()) != HERE]
+    try:
+        import wheel  # noqa: F401
+        print("a 'wheel' distribution is already importable; nothing to do")
+        return
+    except ImportError:
+        pass
+    target = site.getsitepackages()[0]
+    pkg_dst = os.path.join(target, "wheel")
+    shutil.copytree(os.path.join(HERE, "wheel"), pkg_dst,
+                    dirs_exist_ok=True)
+    dist_info = os.path.join(target,
+                             "wheel-0.0.0+veil.minimal.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+        fh.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as fh:
+        fh.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as fh:
+        fh.write("tools/minimal_wheel\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as fh:
+        fh.write("")
+    print(f"minimal wheel shim installed into {target}")
+
+
+if __name__ == "__main__":
+    main()

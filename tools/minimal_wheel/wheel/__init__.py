@@ -1,0 +1,10 @@
+"""Minimal offline stand-in for the PyPA ``wheel`` package.
+
+Provides exactly the surface setuptools (>=64, <70.1) needs to build
+PEP 517/660 wheels -- ``wheel.bdist_wheel.bdist_wheel`` and
+``wheel.wheelfile.WheelFile`` -- so ``pip install -e .`` works on
+air-gapped machines where the real ``wheel`` distribution cannot be
+downloaded.  Install with ``python tools/minimal_wheel/install.py``.
+"""
+
+__version__ = "0.0.0+veil.minimal"

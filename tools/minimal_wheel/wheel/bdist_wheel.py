@@ -1,0 +1,89 @@
+"""A minimal ``bdist_wheel`` distutils command (pure-Python wheels only).
+
+Implements the slice setuptools' ``dist_info`` and ``editable_wheel``
+commands use: ``get_tag``, ``write_wheelfile``, and ``egg2dist``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from distutils.core import Command
+
+from . import __version__
+
+_EGG_TO_DIST = {
+    "PKG-INFO": "METADATA",
+    "entry_points.txt": "entry_points.txt",
+    "top_level.txt": "top_level.txt",
+    "requires.txt": None,          # folded into METADATA by setuptools
+    "dependency_links.txt": None,
+    "SOURCES.txt": None,
+    "namespace_packages.txt": "namespace_packages.txt",
+}
+
+
+class bdist_wheel(Command):
+    """Build a pure-Python wheel (py3-none-any)."""
+
+    description = "create a minimal pure-Python wheel distribution"
+    user_options = [
+        ("bdist-dir=", "b", "temporary build directory"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the build tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self) -> None:
+        """distutils protocol: declare option defaults."""
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+
+    def finalize_options(self) -> None:
+        """distutils protocol: resolve option defaults."""
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    # -- surface used by setuptools -----------------------------------------
+
+    def get_tag(self) -> tuple:
+        """(python, abi, platform) tag triple; pure wheels only."""
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base: str,
+                        generator: str | None = None) -> None:
+        """Write the ``WHEEL`` metadata file into a dist-info dir."""
+        generator = generator or f"veil-minimal-wheel ({__version__})"
+        impl, abi, plat = self.get_tag()
+        content = "\n".join([
+            "Wheel-Version: 1.0",
+            f"Generator: {generator}",
+            "Root-Is-Purelib: true",
+            f"Tag: {impl}-{abi}-{plat}",
+            "",
+        ])
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an ``.egg-info`` directory into a ``.dist-info``."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        for source, target in _EGG_TO_DIST.items():
+            if target is None:
+                continue
+            src = os.path.join(egginfo_path, source)
+            if os.path.exists(src):
+                shutil.copyfile(src,
+                                os.path.join(distinfo_path, target))
+        self.write_wheelfile(distinfo_path)
+
+    def run(self) -> None:
+        """Full builds are out of scope for the shim (editable installs
+        and metadata preparation never call this)."""
+        raise NotImplementedError(
+            "minimal bdist_wheel supports metadata/editable builds only")

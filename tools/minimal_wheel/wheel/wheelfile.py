@@ -1,0 +1,79 @@
+"""A minimal PEP 427 wheel writer (RECORD hashing included)."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<name>.+?)(-(?P<ver>\d[^-]*?))?(-(?P<build>\d[^-]*?))?"
+    r"-(?P<pyver>[^\s-]+?)-(?P<abi>[^\s-]+?)-(?P<plat>[^\s-]+?)\.whl$")
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Zip archive that accumulates RECORD entries and writes the RECORD
+    file (with sha256 hashes and sizes) on close, per PEP 427."""
+
+    def __init__(self, file, mode: str = "r", **kwargs):
+        super().__init__(file, mode,
+                         compression=zipfile.ZIP_DEFLATED, **kwargs)
+        match = _DIST_INFO_RE.match(os.path.basename(str(file)))
+        if match:
+            name = match.group("name")
+            version = match.group("ver") or "0"
+            self.dist_info_path = f"{name}-{version}.dist-info"
+        else:
+            self.dist_info_path = "UNKNOWN-0.dist-info"
+        self._records: list[tuple[str, str, int]] = []
+
+    # -- writing ----------------------------------------------------------
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs) -> None:
+        """Write bytes, recording their hash for RECORD."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = getattr(zinfo_or_arcname, "filename", zinfo_or_arcname)
+        digest = hashlib.sha256(data).digest()
+        self._records.append((str(arcname),
+                              f"sha256={_urlsafe_b64(digest)}",
+                              len(data)))
+
+    def write(self, filename, arcname=None, *args, **kwargs) -> None:
+        """Write a file from disk, recording its hash for RECORD."""
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        self.writestr(arcname or os.path.basename(str(filename)), data)
+
+    def write_files(self, base_dir) -> None:
+        """Add every file under ``base_dir`` (RECORD written at close)."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(
+                    os.sep, "/")
+                if arcname.endswith(".dist-info/RECORD"):
+                    continue
+                self.write(path, arcname)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Emit RECORD before sealing the archive."""
+        if self.mode == "w" and self._records is not None:
+            record_path = f"{self.dist_info_path}/RECORD"
+            lines = [f"{name},{digest},{size}"
+                     for name, digest, size in self._records]
+            lines.append(f"{record_path},,")
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            super().writestr(record_path, payload)
+            self._records = None
+        super().close()

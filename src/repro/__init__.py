@@ -14,6 +14,7 @@ Quickstart::
     system.integration.activate_kci(system.boot_core)
 """
 
+from .analysis import AnalysisReport, Finding, run_analysis
 from .core.boot import (NativeSystem, VeilConfig, VeilSystem,
                         boot_native_system, boot_veil_system,
                         module_signing_key)
@@ -22,7 +23,7 @@ from .enclave import (EnclaveBinary, EnclaveHost, EnclaveLibc,
 from .errors import (AttestationError, CvmHalted, EnclaveError,
                      GeneralProtectionFault, HardwareFault,
                      InvalidInstruction, KernelError, NestedPageFault,
-                     ReproError, SdkError, SecurityViolation)
+                     ReproError, SdkError, SecurityViolation, VeilFault)
 from .hw import CLOCK_HZ, CostModel, SevSnpMachine, cycles_to_seconds
 
 __version__ = "1.0.0"
@@ -34,6 +35,7 @@ __all__ = [
     "AttestationError", "CvmHalted", "EnclaveError",
     "GeneralProtectionFault", "HardwareFault", "InvalidInstruction",
     "KernelError", "NestedPageFault", "ReproError", "SdkError",
-    "SecurityViolation", "CLOCK_HZ", "CostModel", "SevSnpMachine",
-    "cycles_to_seconds", "__version__",
+    "SecurityViolation", "VeilFault", "CLOCK_HZ", "CostModel",
+    "SevSnpMachine", "cycles_to_seconds", "AnalysisReport", "Finding",
+    "run_analysis", "__version__",
 ]

@@ -1,0 +1,41 @@
+"""veil-lint: a trust-boundary static analyzer for this codebase.
+
+The reproduction's security argument (paper Tables 1 and 2) rests on a
+layering discipline: only the simulated hardware (:mod:`repro.hw`) may
+touch protected state -- physical pages, RMP entries, VMSAs -- and every
+other layer must reach that state through architectural gates
+(:meth:`repro.hw.rmp.Rmp.check_access`, ``PhysicalMemory.read/write``,
+``RMPADJUST``/``PVALIDATE``).  veil-lint mechanizes that discipline as an
+AST-level analysis that runs in CI, so a future refactor cannot quietly
+smuggle guest code past the RMP.
+
+Usage::
+
+    python -m repro.analysis                 # lint the installed tree
+    python -m repro.analysis --format json   # machine-readable findings
+
+or programmatically::
+
+    from repro.analysis import run_analysis
+    report = run_analysis()
+    assert not report.errors
+
+Rules are registered in :mod:`repro.analysis.rules`; each maps to a row
+of the paper's protection tables (see ``docs/ANALYSIS.md``).  Deliberate
+violations -- e.g. the section-8 attack suite, whose entire point is to
+poke at protected state -- carry inline suppressions of the form
+``# veil-lint: allow(<rule>) -- <reason>``; a suppression without a
+justification is itself a finding.
+"""
+
+from .engine import (AnalysisReport, Analyzer, Finding, Severity,
+                     Suppression, run_analysis)
+from .graph import Import, Module, PackageIndex
+from .report import render_json, render_text
+from .rules import ALL_RULES, Rule, rule_names
+
+__all__ = [
+    "ALL_RULES", "AnalysisReport", "Analyzer", "Finding", "Import",
+    "Module", "PackageIndex", "Rule", "Severity", "Suppression",
+    "render_json", "render_text", "rule_names", "run_analysis",
+]

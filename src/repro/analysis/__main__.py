@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` runs veil-lint over the installed tree."""
+
+from .cli import main
+
+main()

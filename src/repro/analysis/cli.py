@@ -1,0 +1,83 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 -- no active error findings; 1 -- at least one; 2 -- bad
+invocation (e.g. a root that is not a package directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import default_root, run_analysis
+from .report import render_json, render_text
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the veil-lint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="veil-lint: enforce the VMPL trust-boundary layering "
+                    "of the Veil reproduction")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="package directory to analyze (default: the installed "
+             "repro tree)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings with their justifications")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit")
+    return parser
+
+
+def run(argv=None, *, stdout=None) -> int:
+    """Parse ``argv``, run the analysis, print a report; returns the
+    exit code (0 clean / 1 findings / 2 usage error)."""
+    out = stdout or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:<20} {rule.description}", file=out)
+        print("suppression-hygiene  suppressions must name a known rule "
+              "and carry a justification", file=out)
+        return 0
+    root = args.root or default_root()
+    if not (root / "__init__.py").is_file():
+        print(f"error: {root} is not a package directory "
+              "(no __init__.py)", file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",")}
+        unknown = wanted - {rule.name for rule in ALL_RULES}
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in ALL_RULES if rule.name in wanted]
+    report = run_analysis(root, rules=rules)
+    if args.format == "json":
+        print(render_json(report), file=out)
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed),
+              file=out)
+    return report.exit_code
+
+
+def main(argv=None) -> None:
+    """Entry point for ``python -m repro.analysis``: run and exit."""
+    raise SystemExit(run(argv))
+
+
+if __name__ == "__main__":
+    main()

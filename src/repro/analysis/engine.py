@@ -1,0 +1,240 @@
+"""The veil-lint rule engine: findings, suppressions, and the analyzer.
+
+A finding is ``(rule, severity, file, line, message)``.  A finding can be
+suppressed with an inline comment on the offending line or on the line
+directly above it::
+
+    sink.tamper(0, blob)   # veil-lint: allow(<rule>) -- <why it is safe>
+
+The justification after the separator is mandatory: suppressions exist so
+deliberate boundary crossings (the attack suite) document *why* they are
+safe, and an empty reason defeats that.  Suppression hygiene is checked
+by the engine itself (rule ``suppression-hygiene``): a missing reason, a
+reference to an unknown rule, and a suppression that matches no finding
+are each reported.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class Severity(enum.Enum):
+    """Finding severity; only ERROR findings fail the build."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: Severity
+    path: str              # path as given to the analyzer
+    line: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str | None = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form of the finding."""
+        return {
+            "rule": self.rule, "severity": self.severity.value,
+            "path": self.path, "line": self.line, "message": self.message,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+#: The ``veil-lint: allow(<rules>) -- <reason>`` marker (separator may be
+#: an em-dash, two hyphens, or a colon; the reason is mandatory but its
+#: absence is diagnosed by the engine rather than rejected here).
+_SUPPRESS_RE = re.compile(
+    r"#\s*veil-lint:\s*allow\(\s*([A-Za-z0-9_\-\s,]*?)\s*\)"
+    r"\s*(?:(?:—|–|--|:)\s*(?P<reason>.*?))?\s*$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``veil-lint: allow(...)`` comment."""
+
+    rules: tuple[str, ...]
+    reason: str
+    path: str
+    line: int
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether this comment names the finding's rule."""
+        return finding.rule in self.rules
+
+
+def parse_suppressions(path: str, source: str) -> list[Suppression]:
+    """Extract every suppression comment from ``source``."""
+    out = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(r.strip() for r in match.group(1).split(",")
+                      if r.strip())
+        reason = (match.group("reason") or "").strip()
+        out.append(Suppression(rules=rules, reason=reason, path=path,
+                               line=lineno, used=False))
+    return out
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    module_count: int = 0
+    rule_names: tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Active (unsuppressed) error findings: these fail the build."""
+        return [f for f in self.findings
+                if f.severity is Severity.ERROR and not f.suppressed]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings
+                if f.severity is Severity.WARNING and not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form of the whole report."""
+        return {
+            "root": self.root,
+            "modules": self.module_count,
+            "rules": list(self.rule_names),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": len(self.suppressed),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+class Analyzer:
+    """Run a rule registry over one package tree."""
+
+    def __init__(self, root: Path, rules=None):
+        from .graph import PackageIndex
+        from .rules import ALL_RULES
+        self.root = Path(root)
+        self.rules = list(ALL_RULES if rules is None else rules)
+        self.index = PackageIndex.load(self.root)
+
+    def run(self) -> AnalysisReport:
+        """Execute every rule and fold in suppressions."""
+        known_rules = tuple(rule.name for rule in self.rules)
+        raw: list[Finding] = []
+        for module in self.index.modules:
+            if module.parse_error is not None:
+                raw.append(Finding(
+                    rule="parse", severity=Severity.ERROR,
+                    path=str(module.path), line=1,
+                    message=f"file does not parse: {module.parse_error}"))
+        for rule in self.rules:
+            raw.extend(rule.check(self.index))
+
+        suppressions: list[Suppression] = []
+        for module in self.index.modules:
+            suppressions.extend(
+                parse_suppressions(str(module.path), module.source))
+
+        findings = [self._apply_suppressions(f, suppressions) for f in raw]
+        findings.extend(
+            self._hygiene_findings(suppressions, known_rules))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return AnalysisReport(root=str(self.root), findings=findings,
+                              module_count=len(self.index.modules),
+                              rule_names=known_rules + (
+                                  "suppression-hygiene",))
+
+    # -- suppression mechanics ------------------------------------------------
+
+    @staticmethod
+    def _apply_suppressions(finding: Finding,
+                            suppressions: list[Suppression]) -> Finding:
+        for sup in suppressions:
+            if sup.path != finding.path or not sup.covers(finding):
+                continue
+            # Same line, or a comment-only line directly above.
+            if sup.line not in (finding.line, finding.line - 1):
+                continue
+            sup.used = True
+            if not sup.reason:
+                # An unjustified suppression does not suppress; the
+                # hygiene check below reports it too.
+                continue
+            return Finding(
+                rule=finding.rule, severity=finding.severity,
+                path=finding.path, line=finding.line,
+                message=finding.message, suppressed=True,
+                suppress_reason=sup.reason)
+        return finding
+
+    @staticmethod
+    def _hygiene_findings(suppressions: list[Suppression],
+                          known_rules: tuple[str, ...]) -> list[Finding]:
+        out = []
+        for sup in suppressions:
+            if not sup.reason:
+                out.append(Finding(
+                    rule="suppression-hygiene", severity=Severity.ERROR,
+                    path=sup.path, line=sup.line,
+                    message="suppression without a justification: write "
+                            "'# veil-lint: allow(<rule>) -- <reason>'"))
+            for name in sup.rules:
+                if name not in known_rules:
+                    out.append(Finding(
+                        rule="suppression-hygiene",
+                        severity=Severity.ERROR,
+                        path=sup.path, line=sup.line,
+                        message=f"suppression names unknown rule "
+                                f"{name!r} (known: "
+                                f"{', '.join(known_rules)})"))
+            if not sup.rules:
+                out.append(Finding(
+                    rule="suppression-hygiene", severity=Severity.ERROR,
+                    path=sup.path, line=sup.line,
+                    message="suppression names no rule"))
+            if sup.rules and sup.reason and not sup.used:
+                out.append(Finding(
+                    rule="suppression-hygiene", severity=Severity.WARNING,
+                    path=sup.path, line=sup.line,
+                    message="suppression matches no finding "
+                            "(stale allow comment?)"))
+        return out
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the live tree)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def run_analysis(root: Path | str | None = None,
+                 rules=None) -> AnalysisReport:
+    """Analyze ``root`` (default: the installed ``repro`` tree)."""
+    return Analyzer(Path(root) if root else default_root(),
+                    rules=rules).run()

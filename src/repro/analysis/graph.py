@@ -1,0 +1,191 @@
+"""Package discovery and the module-level import graph.
+
+The analyzer works on *package-relative* dotted module names ("hw.rmp",
+"kernel.syscalls"), so the same rule set runs unchanged over the real
+``repro`` tree and over small fixture packages in the test suite.
+
+Imports are resolved to package-relative targets; imports of anything
+outside the analyzed package (the standard library, third parties) are
+dropped.  Imports that only exist under ``typing.TYPE_CHECKING`` are kept
+but flagged: they are erased at runtime, and the trust boundaries this
+analyzer enforces are runtime properties, so layering rules exempt them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Import:
+    """One resolved intra-package import edge."""
+
+    target: str            # package-relative dotted module ("hw.rmp")
+    line: int
+    type_checking: bool    # only imported under typing.TYPE_CHECKING
+
+
+@dataclass
+class Module:
+    """One parsed source file of the analyzed package."""
+
+    name: str              # package-relative dotted name; "" for __init__
+    path: Path
+    source: str
+    tree: ast.Module | None            # None when the file failed to parse
+    parse_error: str | None = None
+    imports: list[Import] = field(default_factory=list)
+
+    @property
+    def top_package(self) -> str:
+        """First dotted component ("hw" for "hw.rmp", "cli" for "cli")."""
+        return self.name.split(".", 1)[0] if self.name else ""
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the TYPE_CHECKING idiom."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect intra-package imports, tracking TYPE_CHECKING guards."""
+
+    def __init__(self, module_name: str, package: str):
+        self.module_name = module_name
+        self.package = package
+        self.imports: list[Import] = []
+        self._type_checking_depth = 0
+
+    # -- guard tracking -----------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    # -- import forms -------------------------------------------------------
+
+    def _add(self, target: str | None, line: int) -> None:
+        if target is None:
+            return
+        self.imports.append(Import(
+            target=target, line=line,
+            type_checking=self._type_checking_depth > 0))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(self._resolve_absolute(alias.name), node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            self._add(self._resolve_absolute(node.module or ""),
+                      node.lineno)
+            return
+        base = self._resolve_relative(node.level, node.module)
+        if base is None:
+            return
+        # ``from .pkg import name``: name may be a submodule or an object;
+        # the containing module edge is what layering cares about.
+        self._add(base, node.lineno)
+
+    def _resolve_absolute(self, dotted: str) -> str | None:
+        """Map ``import repro.hw.rmp`` to "hw.rmp"; None if external."""
+        if dotted == self.package:
+            return ""
+        prefix = self.package + "."
+        if dotted.startswith(prefix):
+            return dotted[len(prefix):]
+        return None
+
+    def _resolve_relative(self, level: int, module: str | None
+                          ) -> str | None:
+        """Resolve a ``from ..x import y`` to a package-relative target."""
+        # The importing module's package path, as dotted components.
+        parts = self.module_name.split(".") if self.module_name else []
+        if not self.path_is_package:
+            parts = parts[:-1]
+        # level=1 is the current package; each extra level pops one.
+        for _ in range(level - 1):
+            if not parts:
+                return None       # escaped the analyzed package
+            parts.pop()
+        if module:
+            parts = parts + module.split(".")
+        return ".".join(parts)
+
+    path_is_package = False    # set by the caller for __init__ modules
+
+
+def discover_package(root: Path) -> list[Module]:
+    """Parse every ``*.py`` under ``root`` (a package directory).
+
+    Returns modules with package-relative dotted names; the package's own
+    ``__init__.py`` gets the name ``""`` and subpackage ``__init__``
+    modules get the subpackage's dotted name.
+    """
+    root = root.resolve()
+    package = root.name
+    modules: list[Module] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.parts)
+        is_package = parts[-1] == "__init__.py"
+        if is_package:
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][:-3]
+        name = ".".join(parts)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree: ast.Module | None = ast.parse(source, filename=str(path))
+            parse_error = None
+        except SyntaxError as exc:
+            tree, parse_error = None, str(exc)
+        module = Module(name=name, path=path, source=source, tree=tree,
+                        parse_error=parse_error)
+        if tree is not None:
+            collector = _ImportCollector(name, package)
+            collector.path_is_package = is_package
+            collector.visit(tree)
+            module.imports = collector.imports
+        modules.append(module)
+    return modules
+
+
+class PackageIndex:
+    """The analyzed package: modules plus lookup helpers for rules."""
+
+    def __init__(self, root: Path, modules: list[Module]):
+        self.root = root
+        self.package = root.name
+        self.modules = modules
+        self._by_name = {m.name: m for m in modules}
+
+    def module(self, name: str) -> Module | None:
+        """Module with package-relative dotted ``name``, if present."""
+        return self._by_name.get(name)
+
+    def in_subpackage(self, module: Module, subpackage: str) -> bool:
+        """Whether ``module`` lives in ``subpackage`` (e.g. "hw")."""
+        return (module.name == subpackage or
+                module.name.startswith(subpackage + "."))
+
+    @classmethod
+    def load(cls, root: Path) -> "PackageIndex":
+        return cls(root, discover_package(root))

@@ -1,0 +1,41 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisReport, Severity
+
+
+def render_text(report: AnalysisReport, *, show_suppressed: bool = False
+                ) -> str:
+    """``file:line: severity[rule]: message`` lines plus a summary."""
+    lines = []
+    for finding in report.findings:
+        if finding.suppressed:
+            if show_suppressed:
+                lines.append(
+                    f"{finding.location}: suppressed[{finding.rule}]: "
+                    f"{finding.message} (reason: "
+                    f"{finding.suppress_reason})")
+            continue
+        lines.append(f"{finding.location}: "
+                     f"{finding.severity.value}[{finding.rule}]: "
+                     f"{finding.message}")
+    errors, warnings = report.errors, report.warnings
+    verdict = "FAIL" if errors else "ok"
+    lines.append(
+        f"veil-lint: {verdict} -- {len(errors)} error(s), "
+        f"{len(warnings)} warning(s), {len(report.suppressed)} "
+        f"suppressed across {report.module_count} modules")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The full report as a stable, sorted JSON document."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def severity_of(name: str) -> Severity:
+    """Parse a severity name (for CLI filters)."""
+    return Severity(name)

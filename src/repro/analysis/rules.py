@@ -1,0 +1,425 @@
+"""The veil-lint rule registry.
+
+Each rule mechanizes one trust boundary of the simulated Veil stack; the
+mapping from rule to paper invariant (Tables 1/2 rows) is documented in
+``docs/ANALYSIS.md``.  Rules are pure functions of a
+:class:`~repro.analysis.graph.PackageIndex` and yield
+:class:`~repro.analysis.engine.Finding` objects.
+
+This module deliberately imports nothing from the rest of ``repro`` --
+the analyzer must stay runnable on a tree whose layering is broken.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .engine import Finding, Severity
+from .graph import Module, PackageIndex
+
+
+class Rule:
+    """Base class: a named check over the package index."""
+
+    name = "abstract"
+    severity = Severity.ERROR
+    description = ""
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        """Yield findings for every violation in ``index``."""
+        raise NotImplementedError
+
+    def finding(self, module: Module, line: int, message: str) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(rule=self.name, severity=self.severity,
+                       path=str(module.path), line=line, message=message)
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: layering
+# ---------------------------------------------------------------------------
+
+#: Allowed intra-package runtime imports per subpackage.  Subpackages not
+#: listed here (attacks, bench, workloads, the CLI and package roots) sit
+#: above the trust boundary and may import anything.  ``errors`` and
+#: ``crypto`` are leaf utility layers usable from everywhere.
+LAYER_ALLOWED: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "hw": frozenset({"errors"}),
+    "crypto": frozenset({"errors"}),
+    "hv": frozenset({"hw", "crypto", "errors"}),
+    "kernel": frozenset({"hw", "crypto", "errors"}),
+    "enclave": frozenset({"hw", "kernel", "crypto", "errors"}),
+    "core": frozenset({"hw", "hv", "kernel", "enclave", "crypto",
+                       "errors"}),
+    # The analyzer itself must not depend on the tree it judges.
+    "analysis": frozenset(),
+}
+
+
+class LayeringRule(Rule):
+    """VMPL layering: lower layers must not import upward.
+
+    The load-bearing edges: ``hw`` (the simulated silicon) imports no
+    guest or monitor software; ``hv`` sees only hardware; ``kernel``
+    (DomUNT guest code) never reaches into ``core`` (the VMPL-0 monitor)
+    or ``hv``.  ``TYPE_CHECKING``-only imports are exempt -- they are
+    erased at runtime and cannot move data across a boundary.
+    """
+
+    name = "layering"
+    description = ("subpackage imports must respect the VMPL trust "
+                   "layering (hw < hv/kernel < enclave < core)")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            allowed = LAYER_ALLOWED.get(module.top_package)
+            if allowed is None:
+                continue
+            for imp in module.imports:
+                if imp.type_checking:
+                    continue
+                target_top = imp.target.split(".", 1)[0] if imp.target \
+                    else ""
+                if target_top == module.top_package:
+                    continue           # intra-layer import
+                if target_top in allowed:
+                    continue
+                if target_top == "":
+                    # ``from .. import x`` at the package root.
+                    target_top = "<package root>"
+                yield self.finding(
+                    module, imp.line,
+                    f"layer {module.top_package!r} must not import "
+                    f"{target_top!r} (allowed: "
+                    f"{', '.join(sorted(allowed)) or 'nothing'})")
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: gate bypass
+# ---------------------------------------------------------------------------
+
+#: Private hardware-state containers; touching them outside ``hw`` reads
+#: or writes protected state without an RMP check.
+_PRIVATE_STATE_ATTRS = frozenset({"_pages", "_entries", "_default"})
+
+#: RMP per-page metadata fields.  Writing them outside ``hw`` forges RMP
+#: state; ``perms`` is flagged on any access (reads must use
+#: ``RmpEntry.allows`` / ``Rmp.check_access``).
+_RMP_FIELD_WRITE_ATTRS = frozenset({"assigned", "validated", "shared"})
+
+
+class GateBypassRule(Rule):
+    """Direct pokes at protected state outside :mod:`repro.hw`.
+
+    Everything above the hardware layer must reach pages and RMP entries
+    through the gates (``PhysicalMemory.read/write``, ``Rmp.rmpadjust``,
+    ``Rmp.check_access``, ``Rmp.install_vmsa``...).  Attack code bypasses
+    them on purpose and carries justified suppressions.
+    """
+
+    name = "gate-bypass"
+    description = ("physical pages, RMP entries and RmpEntry.perms may "
+                   "only be touched inside repro.hw")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None or index.in_subpackage(module, "hw"):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            targets: Iterable[ast.expr] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        self._is_rmp_field_write(target, node):
+                    yield self.finding(
+                        module, target.lineno,
+                        f"write to RMP entry field .{target.attr} "
+                        "outside repro.hw: use an Rmp gate "
+                        "(rmpadjust/assign/share/install_vmsa)")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in _PRIVATE_STATE_ATTRS:
+                yield self.finding(
+                    module, node.lineno,
+                    f"access to private hardware state .{node.attr} "
+                    "outside repro.hw: go through "
+                    "PhysicalMemory.read/write or the Rmp API")
+            elif node.attr == "perms":
+                yield self.finding(
+                    module, node.lineno,
+                    "access to RmpEntry.perms outside repro.hw: use "
+                    "Rmp.rmpadjust to change and Rmp.check_access/"
+                    "RmpEntry.allows to query permissions")
+
+    @staticmethod
+    def _is_rmp_field_write(target: ast.Attribute, stmt: ast.stmt) -> bool:
+        if target.attr in _RMP_FIELD_WRITE_ATTRS:
+            return True
+        # ``.vmsa`` collides with ordinary object fields holding a VMSA
+        # object; only boolean stores look like RMP bit forgery.
+        if target.attr == "vmsa" and isinstance(stmt, ast.Assign):
+            value = stmt.value
+            return isinstance(value, ast.Constant) and \
+                isinstance(value.value, bool)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: audit completeness
+# ---------------------------------------------------------------------------
+
+class AuditCompletenessRule(Rule):
+    """Every syscall reaches the kaudit hook (paper section 6.3).
+
+    Structural argument mechanized here: (a) ``SyscallTable.dispatch``
+    calls ``log_syscall`` *before* invoking the handler, and (b) no code
+    outside ``SyscallTable`` calls a ``sys_*`` handler directly, so
+    dispatch -- and with it execute-ahead auditing -- cannot be bypassed.
+    """
+
+    name = "audit-completeness"
+    description = ("syscall handlers are only reachable through "
+                   "SyscallTable.dispatch, which must audit first")
+
+    syscalls_module = "kernel.syscalls"
+    table_class = "SyscallTable"
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        syscalls = index.module(self.syscalls_module)
+        if syscalls is not None and syscalls.tree is not None:
+            yield from self._check_dispatch(syscalls)
+        for module in index.modules:
+            if module.tree is None:
+                continue
+            yield from self._check_direct_calls(module)
+
+    def _check_dispatch(self, module: Module) -> Iterator[Finding]:
+        table = next(
+            (n for n in ast.walk(module.tree)
+             if isinstance(n, ast.ClassDef) and n.name == self.table_class),
+            None)
+        if table is None:
+            yield self.finding(
+                module, 1,
+                f"{self.table_class} class not found in "
+                f"{self.syscalls_module}; the audit hook has no anchor")
+            return
+        dispatch = next(
+            (n for n in table.body
+             if isinstance(n, ast.FunctionDef) and n.name == "dispatch"),
+            None)
+        if dispatch is None:
+            yield self.finding(
+                module, table.lineno,
+                f"{self.table_class}.dispatch not found; syscalls have "
+                "no audited entry point")
+            return
+        audit_line = handler_line = None
+        for node in ast.walk(dispatch):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr == "log_syscall" and audit_line is None:
+                audit_line = node.lineno
+            if isinstance(func, ast.Name) and func.id == "handler" and \
+                    handler_line is None:
+                handler_line = node.lineno
+        if audit_line is None:
+            yield self.finding(
+                module, dispatch.lineno,
+                "dispatch never calls the kaudit hook (log_syscall): "
+                "syscalls would run unaudited")
+        elif handler_line is not None and audit_line > handler_line:
+            yield self.finding(
+                module, audit_line,
+                "dispatch audits *after* running the handler; "
+                "execute-ahead auditing (section 6.3) requires the "
+                "record to be protected before the event")
+
+    def _check_direct_calls(self, module: Module) -> Iterator[Finding]:
+        """Flag ``x.sys_foo(...)`` outside the SyscallTable class body."""
+        class_stack: list[str] = []
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, ast.ClassDef):
+                class_stack.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    yield from walk(child)
+                class_stack.pop()
+                return
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr.startswith("sys_"):
+                if self.table_class not in class_stack:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"direct call to syscall handler "
+                        f".{node.func.attr}() bypasses dispatch and "
+                        "the kaudit hook; go through "
+                        "SyscallTable.dispatch")
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child)
+
+        yield from walk(module.tree)
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: exception hygiene
+# ---------------------------------------------------------------------------
+
+#: Catching any of these swallows architectural faults (#NPF, #GP,
+#: invalid-instruction) that the fail-stop defence depends on.
+_BROAD_EXCEPTIONS = frozenset({
+    "Exception", "BaseException", "ReproError", "VeilFault",
+    "HardwareFault",
+})
+
+
+class ExceptionHygieneRule(Rule):
+    """No bare/broad ``except`` that would swallow hardware faults.
+
+    The paper's observable defence outcome is fail-stop: an attack ends
+    in ``NestedPageFault``/``CvmHalted``.  A broad handler between the
+    fault point and the test harness converts "defended" into silent
+    corruption.  Catch targeted exception types instead, or suppress
+    with a reason where surviving any fault is the point (the LTP
+    conformance harness).
+    """
+
+    name = "exception-hygiene"
+    description = ("no bare/broad except clauses that could swallow "
+                   "NestedPageFault/InvalidInstruction")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                broad = self._broad_name(node.type)
+                if broad is None:
+                    continue
+                yield self.finding(
+                    module, node.lineno,
+                    f"broad 'except {broad}' swallows hardware faults "
+                    "(NestedPageFault/InvalidInstruction); catch "
+                    "targeted exception types")
+
+    @staticmethod
+    def _broad_name(type_node: ast.expr | None) -> str | None:
+        if type_node is None:
+            return "<bare>"
+        names: list[ast.expr]
+        if isinstance(type_node, ast.Tuple):
+            names = list(type_node.elts)
+        else:
+            names = [type_node]
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in _BROAD_EXCEPTIONS:
+                return name.id
+            if isinstance(name, ast.Attribute) and \
+                    name.attr in _BROAD_EXCEPTIONS:
+                return name.attr
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: VMPL literal hygiene
+# ---------------------------------------------------------------------------
+
+class VmplLiteralRule(Rule):
+    """No magic VMPL integers outside :mod:`repro.hw`.
+
+    The domain-to-VMPL assignment (DomMON=0 ... DomUNT=3) is hardware
+    vocabulary; software layers must use the named constants
+    (``VMPL_MON``/``VMPL_SER``/``VMPL_ENC``/``VMPL_UNT`` from
+    ``repro.hw``) so a renumbering -- or a typo -- cannot silently move
+    code into the wrong trust domain.
+    """
+
+    name = "vmpl-literal"
+    description = ("VMPL numbers outside repro.hw must use the named "
+                   "constants from repro.hw")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None or index.in_subpackage(module, "hw"):
+                continue
+            for node in ast.walk(module.tree):
+                yield from self._check_node(module, node)
+
+    @staticmethod
+    def _mentions_vmpl(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return "vmpl" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "vmpl" in node.attr.lower()
+        return False
+
+    @staticmethod
+    def _int_literal(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Constant) and
+                isinstance(node.value, int) and
+                not isinstance(node.value, bool))
+
+    def _check_node(self, module: Module,
+                    node: ast.AST) -> Iterator[Finding]:
+        message = ("magic VMPL integer outside repro.hw: use "
+                   "VMPL_MON/VMPL_SER/VMPL_ENC/VMPL_UNT from repro.hw")
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg and "vmpl" in kw.arg.lower() and \
+                        self._int_literal(kw.value):
+                    yield self.finding(module, kw.value.lineno, message)
+            # ``message.get("vmpl", 3)``-style dict lookups.
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "get" and len(node.args) == 2:
+                key, default = node.args
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str) and \
+                        "vmpl" in key.value.lower() and \
+                        self._int_literal(default):
+                    yield self.finding(module, default.lineno, message)
+        elif isinstance(node, ast.Dict):
+            # GHCB messages: ``{"op": ..., "vmpl": 0}``.
+            for key, value in zip(node.keys, node.values):
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str) and \
+                        "vmpl" in key.value.lower() and \
+                        self._int_literal(value):
+                    yield self.finding(module, value.lineno, message)
+        elif isinstance(node, ast.Assign):
+            if self._int_literal(node.value) and \
+                    any(self._mentions_vmpl(t) for t in node.targets):
+                yield self.finding(module, node.lineno, message)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None and self._int_literal(node.value) \
+                    and self._mentions_vmpl(node.target):
+                yield self.finding(module, node.lineno, message)
+        elif isinstance(node, ast.Compare):
+            sides = [node.left] + list(node.comparators)
+            if any(self._mentions_vmpl(s) for s in sides) and \
+                    any(self._int_literal(s) for s in sides):
+                yield self.finding(module, node.lineno, message)
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    LayeringRule(), GateBypassRule(), AuditCompletenessRule(),
+    ExceptionHygieneRule(), VmplLiteralRule(),
+)
+
+
+def rule_names() -> tuple[str, ...]:
+    """Names of every registered rule, in registry order."""
+    return tuple(rule.name for rule in ALL_RULES)

@@ -282,8 +282,10 @@ def attack_enclave_escalates_via_ghcb(system=None) -> AttackResult:
     def escalate(libc):
         rt = libc.rt
         ghcb = rt._user_ghcb()
-        ghcb.write_message(system.machine.memory,
-                           {"op": "domain_switch", "target_vmpl": 0})
+        ghcb.write_message(
+            system.machine.memory,
+            # veil-lint: allow(vmpl-literal) -- forged escalation payload
+            {"op": "domain_switch", "target_vmpl": 0})
         rt.core.vmgexit()
         return "switched"
 

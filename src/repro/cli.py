@@ -11,6 +11,7 @@ Commands map one-to-one onto the paper's experiments:
 ``fig6``       secure auditing overhead
 ``attacks``    Tables 1 & 2 + section 8.3 attack suites
 ``ltp``        LTP-style SDK conformance summary
+``lint``       veil-lint trust-boundary static analysis of the tree
 ``all``        everything above (the full evaluation)
 =============  ========================================================
 """
@@ -116,6 +117,22 @@ def _cmd_ltp(args) -> None:
             print(f"  {name:<20} {good} passed / {bad} failed")
 
 
+def _cmd_lint(args) -> None:
+    from .analysis import cli as analysis_cli
+    argv = ["--format", args.format]
+    if args.root:
+        argv += ["--root", args.root]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.list_rules:
+        argv.append("--list-rules")
+    code = analysis_cli.run(argv)
+    if code:
+        sys.exit(code)
+
+
 def _cmd_ablations(args) -> None:
     from .bench.ablations import (render_ablations,
                                   run_batching_ablation,
@@ -183,6 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
     ltp = sub.add_parser("ltp", help="SDK conformance summary")
     ltp.add_argument("--verbose", action="store_true")
     ltp.set_defaults(fn=_cmd_ltp)
+
+    lint = sub.add_parser("lint",
+                          help="veil-lint trust-boundary analysis")
+    lint.add_argument("--root", default=None)
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--rules", default=None)
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(fn=_cmd_lint)
 
     export = sub.add_parser("export",
                             help="dump all results as JSON/CSV")

@@ -214,7 +214,7 @@ def boot_native_system(config: VeilConfig | None = None) -> NativeSystem:
     # Launch-time memory acceptance (PVALIDATE sweep) happens natively too.
     machine.rmp.bulk_assign_validate(machine.num_pages)
     for ppn in machine.vmsa_objects:
-        machine.rmp.entry(ppn).vmsa = True
+        machine.rmp.install_vmsa(ppn)
     kernel = Kernel(machine)
     kernel.boot(core)
     return NativeSystem(machine=machine, hv=hv, kernel=kernel,

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-VMPL_MON = 0
-VMPL_SER = 1
-VMPL_ENC = 2
-VMPL_UNT = 3
+# The numeric VMPL assignment is hardware vocabulary and lives in
+# repro.hw; this module re-exports it next to the Domain objects so the
+# monitor stack keeps importing policy names from one place.
+from ..hw.rmp import VMPL_ENC, VMPL_MON, VMPL_SER, VMPL_UNT
 
 
 @dataclass(frozen=True)

@@ -152,8 +152,7 @@ class VeilMon:
 
     def _mark_existing_vmsas(self) -> None:
         for ppn in self.machine.vmsa_objects:
-            ent = self.machine.rmp.entry(ppn)
-            ent.vmsa = True
+            self.machine.rmp.install_vmsa(ppn)
 
     def _new_direct_table(self) -> GuestPageTable:
         table = self.machine.create_page_table()

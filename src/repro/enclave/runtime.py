@@ -23,6 +23,7 @@ from ..errors import SdkError, SecurityViolation
 from ..hw.ghcb import Ghcb
 from ..hw.memory import PAGE_SIZE, page_base
 from ..hw.pagetable import PageFault
+from ..hw.rmp import VMPL_ENC, VMPL_SER, VMPL_UNT
 from .allocator import EnclaveHeap
 from .sanitizer import SyscallSanitizer
 
@@ -30,10 +31,6 @@ if typing.TYPE_CHECKING:
     from ..core.boot import VeilSystem
     from ..core.integration import EnclaveSetup
     from ..hw.vcpu import VirtualCpu
-
-VMPL_SER = 1
-VMPL_ENC = 2
-VMPL_UNT = 3
 
 _STAGING_ALIGN = 16
 

@@ -24,7 +24,19 @@ class SimulationError(ReproError):
     """The simulation itself was driven incorrectly (a harness bug)."""
 
 
-class HardwareFault(ReproError):
+class VeilFault(ReproError):
+    """Common base for architectural fault outcomes.
+
+    Groups the failures that correspond to the paper's threat model:
+    hardware-enforced faults (:class:`HardwareFault` and subclasses) and
+    the fail-stop terminal state (:class:`CvmHalted`).  Catching
+    ``VeilFault`` broadly outside a test harness hides a defence firing,
+    which is why veil-lint's ``exception-hygiene`` rule treats it as a
+    broad exception class.
+    """
+
+
+class HardwareFault(VeilFault):
     """Base class for faults raised by the simulated SEV-SNP hardware."""
 
 
@@ -51,7 +63,7 @@ class InvalidInstruction(HardwareFault):
     undefined (e.g. ``RMPADJUST`` targeting a more-privileged VMPL)."""
 
 
-class CvmHalted(ReproError):
+class CvmHalted(VeilFault):
     """The confidential VM has halted (typically due to repeated #NPFs).
 
     This is the paper's documented fail-stop defence outcome.

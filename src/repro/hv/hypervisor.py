@@ -26,6 +26,7 @@ from ..errors import NestedPageFault, SecurityViolation, \
 from ..hw.ghcb import Ghcb
 from ..hw.memory import page_base
 from ..hw.pagetable import PageFault
+from ..hw.rmp import VMPL_ENC, VMPL_MON, VMPL_UNT
 from ..hw.vmsa import Vmsa
 from .attestation import SecureProcessor
 from .devices import VirtioBlock, VirtioConsole
@@ -63,7 +64,7 @@ class Hypervisor:
         #: ghcb ppn -> policy, for GHCBs registered for domain switching.
         self.ghcb_policies: dict[int, GhcbPolicy] = {}
         #: VMPL that receives relayed interrupts during enclave execution.
-        self.interrupt_relay_vmpl = 3
+        self.interrupt_relay_vmpl = VMPL_UNT
         #: Called (core) after an interrupt is relayed to DomUNT so the
         #: guest kernel model can account handler work before the enclave
         #: is resumed.  Installed by the kernel at boot.
@@ -84,16 +85,14 @@ class Hypervisor:
         the hypervisor creates, and it is always VMPL-0.
         """
         self.psp.measure_launch(boot_image)
-        vmsa = self._materialize_vmsa(vcpu_id=boot_vcpu_id, vmpl=0)
-        self.vmsas[(boot_vcpu_id, 0)] = vmsa
+        vmsa = self._materialize_vmsa(vcpu_id=boot_vcpu_id,
+                                      vmpl=VMPL_MON)
+        self.vmsas[(boot_vcpu_id, VMPL_MON)] = vmsa
         return vmsa
 
     def _materialize_vmsa(self, *, vcpu_id: int, vmpl: int) -> Vmsa:
         ppn = self.machine.frames.alloc("vmsa")
-        ent = self.machine.rmp.entry(ppn)
-        ent.assigned = True
-        ent.validated = True
-        ent.vmsa = True
+        self.machine.rmp.install_vmsa(ppn)
         vmsa = Vmsa(vcpu_id=vcpu_id, vmpl=vmpl, ppn=ppn)
         self.machine.vmsa_objects[ppn] = vmsa
         return vmsa
@@ -115,7 +114,7 @@ class Hypervisor:
     def _host_check(self, paddr: int, length: int, what: str) -> None:
         from ..hw.memory import pages_spanned
         for ppn in pages_spanned(paddr, length):
-            ent = self.machine.rmp.entry(ppn)
+            ent = self.machine.rmp.peek(ppn)
             if ent.shared:
                 continue
             if ent.assigned or ent.vmsa:
@@ -182,7 +181,7 @@ class Hypervisor:
         registration therefore cannot produce a runnable instance.
         """
         ppn = int(message["vmsa_ppn"])
-        ent = self.machine.rmp.entry(ppn)
+        ent = self.machine.rmp.peek(ppn)
         vmsa = self.machine.vmsa_objects.get(ppn)
         if vmsa is None or not ent.vmsa:
             self.machine.halt(f"register_vmsa on non-VMSA page {ppn:#x}")
@@ -193,7 +192,7 @@ class Hypervisor:
                        message: dict) -> None:
         """AP boot / hotplug: start a core on a registered VMSA."""
         vcpu_id = int(message["vcpu_id"])
-        vmpl = int(message.get("vmpl", 3))
+        vmpl = int(message.get("vmpl", VMPL_UNT))
         target = self.vmsas.get((vcpu_id, vmpl))
         if target is None:
             self.machine.halt(f"start_vcpu: no VMSA for vcpu {vcpu_id} "
@@ -277,7 +276,7 @@ class Hypervisor:
         if exited is None:
             raise SimulationError("automatic exit with no instance")
         self.exit_log.append(f"auto:{reason}:vmpl{exited.vmpl}")
-        if exited.vmpl != 2:
+        if exited.vmpl != VMPL_ENC:
             # Kernel/monitor context: re-enter and let the guest handle it.
             self._enter(core, exited)
             return

@@ -20,7 +20,8 @@ from .ghcb import Ghcb
 from .memory import PAGE_SIZE, PhysicalMemory, page_base, page_number
 from .pagetable import GuestPageTable, PageFault, Pte
 from .platform import FrameAllocator, SevSnpMachine
-from .rmp import Access, NUM_VMPLS, Rmp, RmpEntry
+from .rmp import (Access, NUM_VMPLS, Rmp, RmpEntry, VMPL_ENC, VMPL_MON,
+                  VMPL_SER, VMPL_UNT)
 from .vcpu import VirtualCpu
 from .vmsa import GPR_NAMES, RegisterFile, Vmsa
 
@@ -29,6 +30,6 @@ __all__ = [
     "cycles_to_seconds", "free_cost_model", "Ghcb", "PAGE_SIZE",
     "PhysicalMemory", "page_base", "page_number", "GuestPageTable",
     "PageFault", "Pte", "FrameAllocator", "SevSnpMachine", "Access",
-    "NUM_VMPLS", "Rmp", "RmpEntry", "VirtualCpu", "GPR_NAMES",
-    "RegisterFile", "Vmsa",
+    "NUM_VMPLS", "Rmp", "RmpEntry", "VMPL_ENC", "VMPL_MON", "VMPL_SER",
+    "VMPL_UNT", "VirtualCpu", "GPR_NAMES", "RegisterFile", "Vmsa",
 ]

@@ -30,6 +30,14 @@ from .cycles import CostModel, CycleLedger
 
 NUM_VMPLS = 4
 
+# The paper's fixed domain-to-VMPL assignment (section 5.1).  These are
+# hardware vocabulary: every layer above ``hw`` must use the names, never
+# the raw integers (enforced by veil-lint's ``vmpl-literal`` rule).
+VMPL_MON = 0      # DomMON: the VeilMon security monitor
+VMPL_SER = 1      # DomSER: protected services (KCI / ENC / LOG)
+VMPL_ENC = 2      # DomENC: enclaves
+VMPL_UNT = 3      # DomUNT: the untrusted OS and its processes
+
 
 class Access(enum.Flag):
     """Access kinds tracked per VMPL, matching the SNP permission bits."""
@@ -208,6 +216,21 @@ class Rmp:
         ent.vmsa = False
         ent.shared = False
         ent.perms = _default_perms()
+
+    def install_vmsa(self, ppn: int) -> None:
+        """Mark page ``ppn`` as a sealed, guest-owned VMSA page.
+
+        This is the PSP/VMENTER-side state transition backing VMSA
+        creation: the page becomes assigned + validated + VMSA-marked in
+        one step, so ``check_access`` seals it from every VMPL but 0.
+        Guest-side VMSA creation goes through :meth:`rmpadjust` with
+        ``vmsa=True`` instead; this gate exists so the hypervisor and
+        boot flows never poke entry fields directly.
+        """
+        ent = self.entry(ppn)
+        ent.assigned = True
+        ent.validated = True
+        ent.vmsa = True
 
     def share(self, ppn: int) -> None:
         """Mark page ``ppn`` as a shared (unencrypted) page.

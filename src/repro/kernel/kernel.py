@@ -23,6 +23,7 @@ import typing
 from ..errors import KernelError, SimulationError
 from ..hw.memory import PAGE_SIZE, page_base
 from ..hw.pagetable import GuestPageTable, LinearWindow
+from ..hw.rmp import VMPL_MON
 from . import layout
 from .audit import DEFAULT_AUDIT_RULESET, Kaudit
 from .fs import FileSystem, InodeType, O_RDWR, OpenFile
@@ -307,17 +308,18 @@ class Kernel:
         if self.vcpu_boot_hook is not None:
             self.vcpu_boot_hook(core, new_vcpu_id)
             return
-        if self.vmpl != 0:
+        if self.vmpl != VMPL_MON:
             raise KernelError(1, "kernel cannot create VMSAs below VMPL-0")
         hv = self.machine.hypervisor
         assert hv is not None
-        vmsa = hv._materialize_vmsa(vcpu_id=new_vcpu_id, vmpl=0)
+        vmsa = hv._materialize_vmsa(vcpu_id=new_vcpu_id, vmpl=VMPL_MON)
         ghcb = core.current_ghcb()
         ghcb.write_message(self.machine.memory, {
             "op": "register_vmsa", "vmsa_ppn": vmsa.ppn})
         core.vmgexit()
         ghcb.write_message(self.machine.memory, {
-            "op": "start_vcpu", "vcpu_id": new_vcpu_id, "vmpl": 0})
+            "op": "start_vcpu", "vcpu_id": new_vcpu_id,
+            "vmpl": VMPL_MON})
         core.vmgexit()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Tests for the veil-lint static analyzer (``repro.analysis``)."""

@@ -1,0 +1,64 @@
+"""Package discovery and import-graph resolution."""
+
+from repro.analysis import PackageIndex
+
+
+class TestDiscovery:
+    def test_module_names_are_package_relative(self, make_pkg):
+        root = make_pkg({"hw/rmp.py": "x = 1\n",
+                         "kernel/syscalls.py": "y = 2\n"})
+        index = PackageIndex.load(root)
+        names = {m.name for m in index.modules}
+        assert {"", "hw", "hw.rmp", "kernel",
+                "kernel.syscalls"} <= names
+
+    def test_parse_error_is_recorded_not_raised(self, make_pkg):
+        root = make_pkg({"hw/bad.py": "def broken(:\n"})
+        index = PackageIndex.load(root)
+        bad = index.module("hw.bad")
+        assert bad.tree is None and bad.parse_error
+
+    def test_in_subpackage(self, make_pkg):
+        index = PackageIndex.load(make_pkg({"hw/rmp.py": "x = 1\n"}))
+        assert index.in_subpackage(index.module("hw.rmp"), "hw")
+        assert not index.in_subpackage(index.module("hw.rmp"), "h")
+
+
+class TestImportResolution:
+    def test_relative_sibling_import(self, make_pkg):
+        root = make_pkg({
+            "hw/rmp.py": "X = 1\n",
+            "hw/memory.py": "from .rmp import X\n"})
+        index = PackageIndex.load(root)
+        targets = [i.target for i in index.module("hw.memory").imports]
+        assert targets == ["hw.rmp"]
+
+    def test_relative_parent_import(self, make_pkg):
+        root = make_pkg({
+            "errors.py": "class Boom(Exception):\n    pass\n",
+            "kernel/kernel.py": "from ..errors import Boom\n"})
+        index = PackageIndex.load(root)
+        targets = [i.target for i in index.module("kernel.kernel").imports]
+        assert targets == ["errors"]
+
+    def test_absolute_intra_package_import(self, make_pkg):
+        root = make_pkg({
+            "hw/rmp.py": "X = 1\n",
+            "core/mon.py": "import fixturepkg.hw.rmp\n"})
+        index = PackageIndex.load(root)
+        targets = [i.target for i in index.module("core.mon").imports]
+        assert targets == ["hw.rmp"]
+
+    def test_external_imports_are_dropped(self, make_pkg):
+        root = make_pkg({"hw/rmp.py": "import os\nfrom ast import walk\n"})
+        index = PackageIndex.load(root)
+        assert index.module("hw.rmp").imports == []
+
+    def test_type_checking_imports_are_flagged(self, make_pkg):
+        root = make_pkg({"hw/rmp.py": (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from ..core import mon\n")})
+        index = PackageIndex.load(root)
+        imports = index.module("hw.rmp").imports
+        assert len(imports) == 1 and imports[0].type_checking

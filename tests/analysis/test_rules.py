@@ -1,0 +1,233 @@
+"""Positive and negative cases for each veil-lint rule."""
+
+from repro.analysis import Severity
+from repro.analysis.rules import (AuditCompletenessRule,
+                                  ExceptionHygieneRule, GateBypassRule,
+                                  LayeringRule, VmplLiteralRule)
+
+from .conftest import findings_for
+
+
+class TestLayering:
+    def test_hw_importing_kernel_is_flagged(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": "X = 1\n",
+            "hw/rmp.py": "from ..kernel import kernel\n"},
+            rules=[LayeringRule()])
+        found = findings_for(report, "layering")
+        assert len(found) == 1
+        assert "'hw' must not import 'kernel'" in found[0].message
+
+    def test_kernel_importing_core_is_flagged(self, analyze):
+        report = analyze({
+            "core/mon.py": "X = 1\n",
+            "kernel/kernel.py": "from ..core import mon\n"},
+            rules=[LayeringRule()])
+        assert len(findings_for(report, "layering")) == 1
+
+    def test_allowed_edges_pass(self, analyze):
+        report = analyze({
+            "errors.py": "class Boom(Exception):\n    pass\n",
+            "hw/rmp.py": "from ..errors import Boom\n",
+            "kernel/kernel.py": "from ..hw import rmp\n",
+            "core/mon.py": ("from ..hw import rmp\n"
+                            "from ..kernel import kernel\n"),
+            "attacks/poc.py": "from ..core import mon\n"},
+            rules=[LayeringRule()])
+        assert findings_for(report, "layering") == []
+
+    def test_type_checking_import_is_exempt(self, analyze):
+        report = analyze({
+            "core/mon.py": "X = 1\n",
+            "hw/rmp.py": ("from typing import TYPE_CHECKING\n"
+                          "if TYPE_CHECKING:\n"
+                          "    from ..core import mon\n")},
+            rules=[LayeringRule()])
+        assert findings_for(report, "layering") == []
+
+
+class TestGateBypass:
+    def test_private_page_store_access_outside_hw(self, analyze):
+        report = analyze({
+            "kernel/mm.py": "def peek(mem):\n    return mem._pages[0]\n"},
+            rules=[GateBypassRule()])
+        found = findings_for(report, "gate-bypass")
+        assert len(found) == 1 and "._pages" in found[0].message
+
+    def test_perms_access_outside_hw(self, analyze):
+        report = analyze({
+            "core/mon.py": "def weaken(ent):\n    ent.perms[1] = 255\n"},
+            rules=[GateBypassRule()])
+        assert len(findings_for(report, "gate-bypass")) == 1
+
+    def test_rmp_field_write_outside_hw(self, analyze):
+        report = analyze({
+            "kernel/mm.py": ("def forge(ent):\n"
+                             "    ent.validated = True\n"
+                             "    ent.vmsa = True\n")},
+            rules=[GateBypassRule()])
+        assert len(findings_for(report, "gate-bypass")) == 2
+
+    def test_same_code_inside_hw_passes(self, analyze):
+        report = analyze({
+            "hw/rmp.py": ("def install(self, ent):\n"
+                          "    ent.validated = True\n"
+                          "    ent.perms[0] = 255\n"
+                          "    return self._entries\n")},
+            rules=[GateBypassRule()])
+        assert findings_for(report, "gate-bypass") == []
+
+    def test_storing_a_vmsa_object_is_not_a_bit_forge(self, analyze):
+        report = analyze({
+            "core/enc.py": ("def bind(record, vmsa_obj):\n"
+                            "    record.vmsa = vmsa_obj\n")},
+            rules=[GateBypassRule()])
+        assert findings_for(report, "gate-bypass") == []
+
+
+GOOD_DISPATCH = """
+class SyscallTable:
+    def dispatch(self, task, name, args):
+        self.audit.log_syscall(task, name, args)
+        handler = self.handlers[name]
+        return handler(task, *args)
+"""
+
+UNAUDITED_DISPATCH = """
+class SyscallTable:
+    def dispatch(self, task, name, args):
+        handler = self.handlers[name]
+        return handler(task, *args)
+"""
+
+AUDIT_AFTER_DISPATCH = """
+class SyscallTable:
+    def dispatch(self, task, name, args):
+        handler = self.handlers[name]
+        result = handler(task, *args)
+        self.audit.log_syscall(task, name, args)
+        return result
+"""
+
+
+class TestAuditCompleteness:
+    def test_audited_dispatch_passes(self, analyze):
+        report = analyze({"kernel/syscalls.py": GOOD_DISPATCH},
+                         rules=[AuditCompletenessRule()])
+        assert findings_for(report, "audit-completeness") == []
+
+    def test_unaudited_dispatch_is_flagged(self, analyze):
+        report = analyze({"kernel/syscalls.py": UNAUDITED_DISPATCH},
+                         rules=[AuditCompletenessRule()])
+        found = findings_for(report, "audit-completeness")
+        assert len(found) == 1 and "unaudited" in found[0].message
+
+    def test_audit_after_handler_is_flagged(self, analyze):
+        """Execute-ahead auditing: the record precedes the event."""
+        report = analyze({"kernel/syscalls.py": AUDIT_AFTER_DISPATCH},
+                         rules=[AuditCompletenessRule()])
+        found = findings_for(report, "audit-completeness")
+        assert len(found) == 1 and "after" in found[0].message
+
+    def test_direct_handler_call_bypassing_dispatch(self, analyze):
+        report = analyze({
+            "kernel/syscalls.py": GOOD_DISPATCH,
+            "kernel/fs.py": ("def shortcut(table, task):\n"
+                             "    return table.sys_open(task, 'x')\n")},
+            rules=[AuditCompletenessRule()])
+        found = findings_for(report, "audit-completeness")
+        assert len(found) == 1 and "sys_open" in found[0].message
+
+    def test_handler_calls_inside_the_table_pass(self, analyze):
+        report = analyze({
+            "kernel/syscalls.py": GOOD_DISPATCH + (
+                "    def sys_openat(self, task, path):\n"
+                "        return self.sys_open(task, path)\n")},
+            rules=[AuditCompletenessRule()])
+        assert findings_for(report, "audit-completeness") == []
+
+
+class TestExceptionHygiene:
+    def test_bare_except_is_flagged(self, analyze):
+        report = analyze({
+            "kernel/fs.py": ("def f():\n"
+                             "    try:\n"
+                             "        pass\n"
+                             "    except:\n"
+                             "        pass\n")},
+            rules=[ExceptionHygieneRule()])
+        assert len(findings_for(report, "exception-hygiene")) == 1
+
+    def test_broad_tuple_member_is_flagged(self, analyze):
+        report = analyze({
+            "core/mon.py": ("def f():\n"
+                            "    try:\n"
+                            "        pass\n"
+                            "    except (ValueError, ReproError):\n"
+                            "        pass\n")},
+            rules=[ExceptionHygieneRule()])
+        found = findings_for(report, "exception-hygiene")
+        assert len(found) == 1 and "ReproError" in found[0].message
+
+    def test_targeted_except_passes(self, analyze):
+        report = analyze({
+            "core/mon.py": ("def f():\n"
+                            "    try:\n"
+                            "        pass\n"
+                            "    except (KeyError, AttestationError):\n"
+                            "        pass\n")},
+            rules=[ExceptionHygieneRule()])
+        assert findings_for(report, "exception-hygiene") == []
+
+
+class TestVmplLiteral:
+    def test_keyword_argument_literal(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": "def f(hv):\n    hv.enter(vmpl=0)\n"},
+            rules=[VmplLiteralRule()])
+        assert len(findings_for(report, "vmpl-literal")) == 1
+
+    def test_dict_get_default_literal(self, analyze):
+        report = analyze({
+            "hv/hv.py": "def f(msg):\n    return msg.get('vmpl', 3)\n"},
+            rules=[VmplLiteralRule()])
+        assert len(findings_for(report, "vmpl-literal")) == 1
+
+    def test_message_dict_literal(self, analyze):
+        report = analyze({
+            "enclave/rt.py": ("def f():\n"
+                              "    return {'op': 'x', 'target_vmpl': 0}\n")},
+            rules=[VmplLiteralRule()])
+        assert len(findings_for(report, "vmpl-literal")) == 1
+
+    def test_assignment_and_comparison_literals(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": ("def f(self):\n"
+                                 "    self.vmpl = 2\n"
+                                 "    return self.vmpl == 3\n")},
+            rules=[VmplLiteralRule()])
+        assert len(findings_for(report, "vmpl-literal")) == 2
+
+    def test_named_constants_pass(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": ("from ..hw.rmp import VMPL_MON\n"
+                                 "def f(self, hv):\n"
+                                 "    self.vmpl = VMPL_MON\n"
+                                 "    hv.enter(vmpl=VMPL_MON)\n"
+                                 "    return self.vmpl == VMPL_MON\n")},
+            rules=[VmplLiteralRule()])
+        assert findings_for(report, "vmpl-literal") == []
+
+    def test_literals_inside_hw_pass(self, analyze):
+        report = analyze({
+            "hw/rmp.py": "VMPL_MON = 0\nVMPL_UNT = 3\n"},
+            rules=[VmplLiteralRule()])
+        assert findings_for(report, "vmpl-literal") == []
+
+    def test_severity_is_error(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": "def f(self):\n    self.vmpl = 2\n"},
+            rules=[VmplLiteralRule()])
+        assert report.exit_code == 1
+        assert findings_for(report, "vmpl-literal")[0].severity \
+            is Severity.ERROR

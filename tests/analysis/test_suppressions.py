@@ -1,0 +1,90 @@
+"""Suppression semantics: justified allows pass, unjustified ones fail."""
+
+from repro.analysis import Severity
+from repro.analysis.rules import VmplLiteralRule
+
+from .conftest import findings_for
+
+VIOLATION = "def f(self):\n    self.vmpl = 2{comment}\n"
+
+
+class TestSuppressionSemantics:
+    def test_unsuppressed_violation_fails(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": VIOLATION.format(comment="")},
+            rules=[VmplLiteralRule()])
+        assert report.exit_code == 1
+
+    def test_justified_suppression_same_line_passes(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": VIOLATION.format(
+                comment="  # veil-lint: allow(vmpl-literal) -- fixture")},
+            rules=[VmplLiteralRule()])
+        assert report.exit_code == 0
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppress_reason == "fixture"
+
+    def test_justified_suppression_line_above_passes(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": (
+                "def f(self):\n"
+                "    # veil-lint: allow(vmpl-literal) -- fixture\n"
+                "    self.vmpl = 2\n")},
+            rules=[VmplLiteralRule()])
+        assert report.exit_code == 0 and len(report.suppressed) == 1
+
+    def test_suppression_two_lines_away_does_not_apply(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": (
+                "def f(self):\n"
+                "    # veil-lint: allow(vmpl-literal) -- fixture\n"
+                "    pass\n"
+                "    self.vmpl = 2\n")},
+            rules=[VmplLiteralRule()])
+        assert report.exit_code == 1
+
+    def test_reasonless_suppression_is_itself_a_finding(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": VIOLATION.format(
+                comment="  # veil-lint: allow(vmpl-literal)")},
+            rules=[VmplLiteralRule()])
+        # The violation stays active AND the naked allow is reported.
+        assert report.exit_code == 1
+        assert len(findings_for(report, "vmpl-literal")) == 1
+        hygiene = findings_for(report, "suppression-hygiene")
+        assert len(hygiene) == 1
+        assert "justification" in hygiene[0].message
+        assert hygiene[0].severity is Severity.ERROR
+
+    def test_unknown_rule_name_is_a_finding(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": (
+                "# veil-lint: allow(no-such-rule) -- why not\n"
+                "X = 1\n")},
+            rules=[VmplLiteralRule()])
+        hygiene = findings_for(report, "suppression-hygiene")
+        assert any("unknown rule" in f.message for f in hygiene)
+        assert report.exit_code == 1
+
+    def test_stale_suppression_is_a_warning(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": (
+                "# veil-lint: allow(vmpl-literal) -- nothing here\n"
+                "X = 1\n")},
+            rules=[VmplLiteralRule()])
+        stale = [f for f in report.findings
+                 if f.rule == "suppression-hygiene"]
+        assert len(stale) == 1
+        assert stale[0].severity is Severity.WARNING
+        assert report.exit_code == 0
+
+    def test_suppression_does_not_leak_across_rules(self, analyze):
+        """An allow() names a rule; other findings stay active."""
+        report = analyze({
+            "kernel/kernel.py": (
+                "def f(self):\n"
+                "    # veil-lint: allow(gate-bypass) -- wrong rule\n"
+                "    self.vmpl = 2\n")},
+            rules=[VmplLiteralRule()])
+        assert len(findings_for(report, "vmpl-literal")) == 1
+        assert report.exit_code == 1

@@ -12,7 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "export", "ablations", "all"}
+                                    "lint", "export", "ablations",
+                                    "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -39,6 +40,16 @@ class TestCommands:
         main(["attacks"])
         out = capsys.readouterr().out
         assert "attacks defended" in out
+
+    def test_lint_clean_tree(self, capsys):
+        main(["lint"])
+        out = capsys.readouterr().out
+        assert "veil-lint: ok" in out
+
+    def test_lint_list_rules(self, capsys):
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert "layering" in out and "suppression-hygiene" in out
 
     def test_ltp_verbose(self, capsys):
         main(["ltp", "--verbose"])

@@ -38,3 +38,23 @@ class TestTopLevelExports:
         assert issubclass(repro.HardwareFault, repro.ReproError)
         assert issubclass(repro.SecurityViolation, repro.ReproError)
         assert issubclass(repro.CvmHalted, repro.ReproError)
+
+    def test_veil_fault_groups_architectural_outcomes(self):
+        """VeilFault is the common base for fault-model exceptions."""
+        assert issubclass(repro.VeilFault, repro.ReproError)
+        assert issubclass(repro.HardwareFault, repro.VeilFault)
+        assert issubclass(repro.NestedPageFault, repro.VeilFault)
+        assert issubclass(repro.InvalidInstruction, repro.VeilFault)
+        assert issubclass(repro.CvmHalted, repro.VeilFault)
+        # Software-level rejections are not architectural faults.
+        assert not issubclass(repro.SecurityViolation, repro.VeilFault)
+        assert not issubclass(repro.KernelError, repro.VeilFault)
+
+    def test_analysis_exports(self):
+        """veil-lint is part of the public surface and runs clean."""
+        import repro.analysis as analysis
+        for name in analysis.__all__:
+            assert getattr(analysis, name) is not None
+        report = repro.run_analysis()
+        assert isinstance(report, repro.AnalysisReport)
+        assert report.errors == []

@@ -4,9 +4,39 @@ Each benchmark runs one of the paper's experiments end to end (boot the
 systems, execute the workload, collect the cycle-ledger results), attaches
 the reproduced figures as ``extra_info``, and prints the paper-style table
 so ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+
+Set ``VEIL_TRACE_DIR=<dir>`` to capture a Chrome trace-event file per
+benchmark test: the fixture installs a process-wide default tracer that
+every machine booted inside the test picks up, and writes
+``<dir>/<test-name>.trace.json`` afterwards (loadable in Perfetto).
 """
 
+import os
+import re
+
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def veil_trace_capture(request):
+    """Per-test trace capture, enabled by the VEIL_TRACE_DIR env var."""
+    trace_dir = os.environ.get("VEIL_TRACE_DIR")
+    if not trace_dir:
+        yield None
+        return
+    from repro.trace import Tracer, set_default_tracer, \
+        write_chrome_trace
+    tracer = Tracer()
+    set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(None)
+        os.makedirs(trace_dir, exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        write_chrome_trace(tracer,
+                           os.path.join(trace_dir,
+                                        f"{stem}.trace.json"))
 
 
 def attach(benchmark, **info):

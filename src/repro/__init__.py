@@ -25,6 +25,8 @@ from .errors import (AttestationError, CvmHalted, EnclaveError,
                      InvalidInstruction, KernelError, NestedPageFault,
                      ReproError, SdkError, SecurityViolation, VeilFault)
 from .hw import CLOCK_HZ, CostModel, SevSnpMachine, cycles_to_seconds
+from .trace import (Tracer, chrome_trace, render_summary,
+                    write_chrome_trace)
 
 __version__ = "1.0.0"
 
@@ -37,5 +39,6 @@ __all__ = [
     "KernelError", "NestedPageFault", "ReproError", "SdkError",
     "SecurityViolation", "VeilFault", "CLOCK_HZ", "CostModel",
     "SevSnpMachine", "cycles_to_seconds", "AnalysisReport", "Finding",
-    "run_analysis", "__version__",
+    "run_analysis", "Tracer", "chrome_trace", "render_summary",
+    "write_chrome_trace", "__version__",
 ]

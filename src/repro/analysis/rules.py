@@ -46,13 +46,16 @@ class Rule:
 #: ``crypto`` are leaf utility layers usable from everywhere.
 LAYER_ALLOWED: dict[str, frozenset[str]] = {
     "errors": frozenset(),
-    "hw": frozenset({"errors"}),
+    # ``trace`` is a leaf observability layer: any layer may emit into
+    # it, but it must never reach back into the stack it observes.
+    "trace": frozenset({"errors"}),
+    "hw": frozenset({"trace", "errors"}),
     "crypto": frozenset({"errors"}),
-    "hv": frozenset({"hw", "crypto", "errors"}),
-    "kernel": frozenset({"hw", "crypto", "errors"}),
-    "enclave": frozenset({"hw", "kernel", "crypto", "errors"}),
-    "core": frozenset({"hw", "hv", "kernel", "enclave", "crypto",
-                       "errors"}),
+    "hv": frozenset({"hw", "trace", "crypto", "errors"}),
+    "kernel": frozenset({"hw", "trace", "crypto", "errors"}),
+    "enclave": frozenset({"hw", "kernel", "trace", "crypto", "errors"}),
+    "core": frozenset({"hw", "hv", "kernel", "enclave", "trace",
+                       "crypto", "errors"}),
     # The analyzer itself must not depend on the tree it judges.
     "analysis": frozenset(),
 }
@@ -414,9 +417,100 @@ class VmplLiteralRule(Rule):
                 yield self.finding(module, node.lineno, message)
 
 
+# ---------------------------------------------------------------------------
+# Rule 6: trace-span coverage
+# ---------------------------------------------------------------------------
+
+#: Method-name prefixes that constitute traced dispatch surfaces, keyed
+#: by the class kind they live in (see :meth:`TraceSpanRule._class_kind`).
+_TRACED_PREFIXES = {"hypervisor": "_op_", "service": "handle_"}
+
+#: Call names that count as opening a span.
+_SPAN_CALL_ATTRS = frozenset({"span", "trace_span"})
+
+
+class TraceSpanRule(Rule):
+    """Dispatch surfaces must open a trace span.
+
+    Observability completeness for the two request fan-outs: every
+    hypervisor ``_op_*`` GHCB operation handler and every protected
+    service ``handle_*`` request handler either opens a span in its body
+    (a ``.span(...)`` / ``.trace_span(...)`` call) or is wrapped by the
+    declarative ``@traced("op")`` decorator.  Handlers that are
+    intentionally untraced carry an ``allow(trace-span)`` suppression.
+    """
+
+    name = "trace-span"
+    description = ("Hypervisor._op_* and ProtectedService handle_* "
+                   "methods must open a trace span (or use @traced)")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        kind = self._class_kind(cls)
+        if kind is None:
+            return
+        prefix = _TRACED_PREFIXES[kind]
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not item.name.startswith(prefix):
+                continue
+            if self._has_traced_decorator(item) or \
+                    self._opens_span(item):
+                continue
+            yield self.finding(
+                module, item.lineno,
+                f"{cls.name}.{item.name} dispatch handler opens no "
+                "trace span: wrap the body in a span()/trace_span() "
+                "context or decorate with @traced(op)")
+
+    @staticmethod
+    def _class_kind(cls: ast.ClassDef) -> str | None:
+        if cls.name == "Hypervisor":
+            return "hypervisor"
+        names = {cls.name}
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.add(base.attr)
+        if "ProtectedService" in names:
+            return "service"
+        return None
+
+    @staticmethod
+    def _has_traced_decorator(fn: ast.AST) -> bool:
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if isinstance(target, ast.Name) and target.id == "traced":
+                return True
+            if isinstance(target, ast.Attribute) and \
+                    target.attr == "traced":
+                return True
+        return False
+
+    @staticmethod
+    def _opens_span(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _SPAN_CALL_ATTRS:
+                return True
+        return False
+
+
 ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(), GateBypassRule(), AuditCompletenessRule(),
-    ExceptionHygieneRule(), VmplLiteralRule(),
+    ExceptionHygieneRule(), VmplLiteralRule(), TraceSpanRule(),
 )
 
 

@@ -12,6 +12,7 @@ Commands map one-to-one onto the paper's experiments:
 ``attacks``    Tables 1 & 2 + section 8.3 attack suites
 ``ltp``        LTP-style SDK conformance summary
 ``lint``       veil-lint trust-boundary static analysis of the tree
+``trace``      run a workload under veil-trace, export a Perfetto trace
 ``all``        everything above (the full evaluation)
 =============  ========================================================
 """
@@ -133,6 +134,18 @@ def _cmd_lint(args) -> None:
         sys.exit(code)
 
 
+def _cmd_trace(args) -> None:
+    from .trace import Tracer, render_summary, write_chrome_trace
+    from .workloads.trace_demo import run_trace_workload
+    tracer = Tracer(capacity=args.capacity)
+    run_trace_workload(args.workload, tracer=tracer)
+    print(render_summary(tracer, top=args.top))
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print(f"\nwrote {tracer.recorded - tracer.dropped} events to "
+              f"{args.out} (load in Perfetto / chrome://tracing)")
+
+
 def _cmd_ablations(args) -> None:
     from .bench.ablations import (render_ablations,
                                   run_batching_ablation,
@@ -210,6 +223,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--show-suppressed", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(fn=_cmd_lint)
+
+    trace = sub.add_parser(
+        "trace", help="run a workload under veil-trace")
+    from .workloads.trace_demo import TRACE_WORKLOADS
+    trace.add_argument("workload", choices=sorted(TRACE_WORKLOADS),
+                       help="which demo workload to trace")
+    trace.add_argument("--out", default=None,
+                       help="write a Chrome trace-event JSON file")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="tracer ring-buffer capacity (events)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="span kinds to show in the summary table")
+    trace.set_defaults(fn=_cmd_trace)
 
     export = sub.add_parser("export",
                             help="dump all results as JSON/CSV")

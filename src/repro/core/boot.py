@@ -58,6 +58,10 @@ class VeilConfig:
     #: The names are part of the measured image, so the remote user's
     #: expected measurement covers them.
     extra_services: tuple = ()
+    #: Optional :class:`~repro.trace.Tracer` threaded through every layer
+    #: of the booted system.  ``None`` leaves tracing disabled (the
+    #: no-op tracer); tracing charges no cycles either way.
+    tracer: object = None
 
 
 def build_boot_image(config: VeilConfig, *,
@@ -138,7 +142,7 @@ def boot_veil_system(config: VeilConfig | None = None) -> VeilSystem:
     config = config or VeilConfig()
     machine = SevSnpMachine(memory_bytes=config.memory_bytes,
                             num_cores=config.num_cores,
-                            cost=config.cost)
+                            cost=config.cost, tracer=config.tracer)
     hv = Hypervisor(machine)
     trusted_key = module_signing_key()
     boot_image = build_boot_image(
@@ -205,7 +209,7 @@ def boot_native_system(config: VeilConfig | None = None) -> NativeSystem:
     config = config or VeilConfig()
     machine = SevSnpMachine(memory_bytes=config.memory_bytes,
                             num_cores=config.num_cores,
-                            cost=config.cost)
+                            cost=config.cost, tracer=config.tracer)
     hv = Hypervisor(machine)
     boot_image = b"NATIVE-CVM-BOOT-IMAGE-v1"
     boot_vmsa = hv.launch(boot_image)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import typing
 
 from ...hw.memory import PAGE_SIZE, page_base
@@ -9,6 +10,23 @@ from ...hw.memory import PAGE_SIZE, page_base
 if typing.TYPE_CHECKING:
     from ...hw.vcpu import VirtualCpu
     from ..veilmon import VeilMon
+
+
+def traced(op: str):
+    """Wrap a ``handle_*(self, core, request)`` method in a service span.
+
+    The declarative twin of :meth:`ProtectedService.trace_span`:
+    veil-lint's ``trace-span`` rule accepts either form on a handler.
+    """
+
+    def wrap(method):
+        @functools.wraps(method)
+        def inner(self, core, request):
+            with self.trace_span(core, op):
+                return method(self, core, request)
+        return inner
+
+    return wrap
 
 
 class ProtectedService:
@@ -35,6 +53,20 @@ class ProtectedService:
         return {}
 
     # -- helpers shared by services -----------------------------------------
+
+    def trace_span(self, core: "VirtualCpu", op: str, **args):
+        """Open a ``service``-category span for one request handler.
+
+        Every ``handle_*`` method opens one of these (enforced by
+        veil-lint's ``trace-span`` rule); the span name is
+        ``<service>:<op>`` so exported traces and the metrics registry
+        break service time down per operation.
+        """
+        self.machine.tracer.metrics.count("service", f"{self.name}:{op}")
+        return self.machine.tracer.span(
+            "service", f"{self.name}:{op}", vcpu=core.cpu_index,
+            vmpl=core.instance.vmpl if core.instance is not None else -1,
+            args=args or None)
 
     def charge(self, cycles: int, category: str = "service") -> None:
         """Charge service-side cycles to the ledger."""

@@ -31,7 +31,7 @@ from ...hw.pagetable import GuestPageTable
 from ...hw.rmp import Access
 from ..domains import VMPL_ENC, VMPL_SER, VMPL_UNT
 from ..idcb import Idcb
-from .base import ProtectedService
+from .base import ProtectedService, traced
 
 if typing.TYPE_CHECKING:
     from ...hw.vcpu import VirtualCpu
@@ -127,6 +127,7 @@ class VeilSEnc(ProtectedService):
             "enc_report_measurement": self.handle_report_measurement,
         }
 
+    @traced("report_measurement")
     def handle_report_measurement(self, core: "VirtualCpu",
                                   request: dict) -> dict:
         """Seal an enclave's measurement for the remote user.
@@ -140,6 +141,7 @@ class VeilSEnc(ProtectedService):
             "measurement_hex": record.measurement_hex})
         return {"status": "ok", "record_hex": wire.hex()}
 
+    @traced("flush_cpu_state")
     def handle_flush_cpu_state(self, core: "VirtualCpu",
                                request: dict) -> dict:
         """Side-channel mitigation (section 10, eOPF-style): VeilS-ENC,
@@ -163,6 +165,7 @@ class VeilSEnc(ProtectedService):
     # Finalization (initialization + measurement)
     # ------------------------------------------------------------------
 
+    @traced("finalize")
     def handle_finalize(self, core: "VirtualCpu", request: dict) -> dict:
         """Lock down and measure an OS-prepared enclave region."""
         self.charge(FINALIZE_BASE_CYCLES)
@@ -265,6 +268,7 @@ class VeilSEnc(ProtectedService):
     # Scheduling (multiplexing DomENC among enclaves)
     # ------------------------------------------------------------------
 
+    @traced("schedule")
     def handle_schedule(self, core: "VirtualCpu", request: dict) -> dict:
         """Register an enclave thread's VMSA as the DomENC instance for
         its core (the OS scheduler requests this before resuming it)."""
@@ -279,6 +283,7 @@ class VeilSEnc(ProtectedService):
         self.veilmon.hv.vmsas[(vcpu_id, VMPL_ENC)] = vmsa
         return {"status": "ok"}
 
+    @traced("add_thread")
     def handle_add_thread(self, core: "VirtualCpu",
                           request: dict) -> dict:
         """Create an additional enclave thread pinned to another VCPU
@@ -316,6 +321,7 @@ class VeilSEnc(ProtectedService):
     # Consensual enclave-to-enclave sharing (section 10)
     # ------------------------------------------------------------------
 
+    @traced("grant_share")
     def handle_grant_share(self, core: "VirtualCpu",
                            request: dict) -> dict:
         """Owner enclave grants a peer access to one of its regions.
@@ -344,6 +350,7 @@ class VeilSEnc(ProtectedService):
         record.shared_grants.setdefault(peer_id, set()).update(ppns)
         return {"status": "ok", "pages": len(ppns)}
 
+    @traced("accept_share")
     def handle_accept_share(self, core: "VirtualCpu",
                             request: dict) -> dict:
         """Peer enclave accepts a grant: the owner's pages are mapped
@@ -386,6 +393,7 @@ class VeilSEnc(ProtectedService):
     # Collaborative demand paging
     # ------------------------------------------------------------------
 
+    @traced("evict_page")
     def handle_evict_page(self, core: "VirtualCpu", request: dict) -> dict:
         """Encrypt + integrity-protect a page, then release it to the OS."""
         record = self._record(request["enclave_id"])
@@ -426,6 +434,7 @@ class VeilSEnc(ProtectedService):
         self.request_count += 1
         return {"status": "ok", "tag_hex": tag.hex(), "counter": counter}
 
+    @traced("restore_page")
     def handle_restore_page(self, core: "VirtualCpu",
                             request: dict) -> dict:
         """Verify freshness + integrity, then remap a swapped-in page."""
@@ -468,6 +477,7 @@ class VeilSEnc(ProtectedService):
     # Permission changes
     # ------------------------------------------------------------------
 
+    @traced("sync_mprotect")
     def handle_sync_mprotect(self, core: "VirtualCpu",
                              request: dict) -> dict:
         """OS-requested sync of *non-enclave* permission changes into the
@@ -490,6 +500,7 @@ class VeilSEnc(ProtectedService):
                                           nx=not executable)
         return {"status": "ok"}
 
+    @traced("mprotect")
     def handle_enclave_mprotect(self, core: "VirtualCpu",
                                 request: dict) -> dict:
         """Enclave-requested permission change on its own pages (arrives
@@ -526,6 +537,7 @@ class VeilSEnc(ProtectedService):
     # Teardown
     # ------------------------------------------------------------------
 
+    @traced("destroy")
     def handle_destroy(self, core: "VirtualCpu", request: dict) -> dict:
         """Scrub and release all enclave memory back to the OS."""
         record = self._record(request["enclave_id"])

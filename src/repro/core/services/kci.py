@@ -25,7 +25,7 @@ from ...errors import SecurityViolation
 from ...hw.memory import PAGE_SIZE, page_base
 from ...hw.rmp import Access
 from ..domains import VMPL_UNT
-from .base import ProtectedService
+from .base import ProtectedService, traced
 
 if typing.TYPE_CHECKING:
     from ...hw.vcpu import VirtualCpu
@@ -79,6 +79,7 @@ class VeilSKci(ProtectedService):
     # Activation: W xor X over the kernel image
     # ------------------------------------------------------------------
 
+    @traced("activate")
     def handle_activate(self, core: "VirtualCpu", request: dict) -> dict:
         """Apply W^X over the kernel image; copy the symbol table."""
         text_ppns = [int(p) for p in request["text_ppns"]]
@@ -122,6 +123,7 @@ class VeilSKci(ProtectedService):
             raise SecurityViolation("staging buffer shorter than claimed")
         return bytes(blob)
 
+    @traced("load_module")
     def handle_load_module(self, core: "VirtualCpu", request: dict) -> dict:
         """TOCTOU-free verify + install + write-protect a module."""
         from ...kernel.modules import ModuleImage, Relocation
@@ -181,6 +183,7 @@ class VeilSKci(ProtectedService):
         return {"status": "ok", "vaddr": vaddr,
                 "installed_pages": len(region_ppns)}
 
+    @traced("unload_module")
     def handle_unload_module(self, core: "VirtualCpu",
                              request: dict) -> dict:
         """Release a module region back to ordinary kernel memory."""

@@ -15,7 +15,7 @@ import typing
 from ...errors import SecurityViolation
 from ...hw.memory import PAGE_SIZE, page_base
 from ...kernel.audit import AuditEntry, AuditSink
-from .base import ProtectedService
+from .base import ProtectedService, traced
 
 if typing.TYPE_CHECKING:
     from ...hw.vcpu import VirtualCpu
@@ -95,6 +95,7 @@ class VeilSLog(ProtectedService):
         self.request_count += 1
         return True
 
+    @traced("append")
     def handle_append(self, core: "VirtualCpu", request: dict) -> dict:
         """Service request: append one serialized record."""
         blob = bytes.fromhex(request["record_hex"])
@@ -128,6 +129,7 @@ class VeilSLog(ProtectedService):
     #: Records per export chunk (each sealed chunk must fit the IDCB).
     EXPORT_CHUNK = 20
 
+    @traced("export")
     def handle_export(self, core: "VirtualCpu", request: dict) -> dict:
         """Service request: seal a chunk of logs for the remote user.
 
@@ -149,6 +151,7 @@ class VeilSLog(ProtectedService):
                 "next": next_start if next_start < len(self._index)
                 else None}
 
+    @traced("clear")
     def handle_clear(self, core: "VirtualCpu", request: dict) -> dict:
         """Service request: clear storage, only with a fresh authenticated
         record from the remote user (relayed by the untrusted OS)."""

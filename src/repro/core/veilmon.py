@@ -346,9 +346,16 @@ class VeilMon:
                 else self.os_idcbs)[core.cpu_index]
         request = idcb.read_request(self.machine.memory)
         reply_to = int(request.get("_reply_to", from_vmpl))
-        reply = self._dispatch(core, self._handlers, request)
-        idcb.write_reply(self.machine.memory, reply)
-        self.switch_from_mon(core, reply_to)
+        op = str(request.get("op", ""))
+        self.machine.tracer.metrics.count("mon_request", op)
+        # Span covers the whole DomMON residence: dispatch, reply write,
+        # and the switch back out.
+        with self.machine.tracer.span("mon", f"request:{op}",
+                                      vcpu=core.cpu_index, vmpl=VMPL_MON,
+                                      args={"from_vmpl": from_vmpl}):
+            reply = self._dispatch(core, self._handlers, request)
+            idcb.write_reply(self.machine.memory, reply)
+            self.switch_from_mon(core, reply_to)
 
     @staticmethod
     def _dispatch(core, handlers: dict, request: dict) -> dict:
@@ -401,9 +408,14 @@ class VeilMon:
             idcb = self.ser_idcbs[core.cpu_index]
         request = idcb.read_request(self.machine.memory)
         reply_to = int(request.get("_reply_to", VMPL_UNT))
-        reply = self._dispatch(core, self.ser_handlers, request)
-        idcb.write_reply(self.machine.memory, reply)
-        self.switch_from_ser(core, reply_to)
+        op = str(request.get("op", ""))
+        self.machine.tracer.metrics.count("ser_request", op)
+        with self.machine.tracer.span("ser", f"request:{op}",
+                                      vcpu=core.cpu_index,
+                                      vmpl=VMPL_SER):
+            reply = self._dispatch(core, self.ser_handlers, request)
+            idcb.write_reply(self.machine.memory, reply)
+            self.switch_from_ser(core, reply_to)
 
     def ser_call_monitor(self, core: "VirtualCpu", request: dict) -> dict:
         """Call VeilMon from DomSER (e.g. VMSA creation for enclaves)."""

@@ -56,6 +56,7 @@ class EnclaveRuntime:
         #: core's microarchitectural state on every enclave exit.
         self.flush_on_exit = False
         self._flushing = False
+        self.tracer = system.machine.tracer
         # ---- telemetry for the Fig. 5 overhead breakdown ----------------
         self.syscall_count = 0
         self.enclave_exits = 0        # switch round trips (syscalls+entry)
@@ -91,22 +92,26 @@ class EnclaveRuntime:
             raise SdkError("enclave was killed")
         if self.inside:
             raise SdkError("already inside the enclave")
-        # The OS scheduler re-registers the thread's VMSA whenever a
-        # different DomENC instance last ran on this core (several
-        # enclaves multiplex one core's VMPL-2 slot).
-        record = self.system.enc.enclaves[self.setup.enclave_id]
-        my_vmsa = record.threads[self.vcpu_id][0]
-        scheduled = self.system.hv.vmsas.get((self.vcpu_id, VMPL_ENC))
-        if scheduled is not my_vmsa:
-            self.system.integration.schedule_enclave(
-                self.core, self.setup.enclave_id, vcpu_id=self.vcpu_id,
-                ghcb_ppn=self.thread_ghcb_ppn)
-        else:
-            self._arm_ghcb()
-        ghcb = self._user_ghcb()
-        ghcb.write_message(self.machine.memory,
-                           {"op": "domain_switch", "target_vmpl": VMPL_ENC})
-        self.core.vmgexit()
+        with self.tracer.span("enclave", "enter", vcpu=self.vcpu_id,
+                              vmpl=VMPL_UNT, pid=self.proc.pid,
+                              args={"enclave_id": self.setup.enclave_id}):
+            # The OS scheduler re-registers the thread's VMSA whenever a
+            # different DomENC instance last ran on this core (several
+            # enclaves multiplex one core's VMPL-2 slot).
+            record = self.system.enc.enclaves[self.setup.enclave_id]
+            my_vmsa = record.threads[self.vcpu_id][0]
+            scheduled = self.system.hv.vmsas.get((self.vcpu_id, VMPL_ENC))
+            if scheduled is not my_vmsa:
+                self.system.integration.schedule_enclave(
+                    self.core, self.setup.enclave_id,
+                    vcpu_id=self.vcpu_id, ghcb_ppn=self.thread_ghcb_ppn)
+            else:
+                self._arm_ghcb()
+            ghcb = self._user_ghcb()
+            ghcb.write_message(
+                self.machine.memory,
+                {"op": "domain_switch", "target_vmpl": VMPL_ENC})
+            self.core.vmgexit()
         self.inside = True
         self.setup.active_runtime = self
         self.enclave_exits += 1
@@ -120,20 +125,25 @@ class EnclaveRuntime:
         """Transition DomENC -> DomUNT (the costly enclave exit)."""
         if not self.inside:
             return
-        if self.flush_on_exit and not self._flushing:
-            # Route through VeilS-ENC so privileged WBINVD scrubs this
-            # core's cache/TLB footprint before untrusted code runs.
-            self._flushing = True
-            try:
-                self.service_request({
-                    "op": "enc_flush_cpu_state",
-                    "enclave_id": self.setup.enclave_id})
-            finally:
-                self._flushing = False
-        ghcb = self._user_ghcb()
-        ghcb.write_message(self.machine.memory,
-                           {"op": "domain_switch", "target_vmpl": VMPL_UNT})
-        self.core.vmgexit()
+        with self.tracer.span("enclave", "exit", vcpu=self.vcpu_id,
+                              vmpl=VMPL_ENC, pid=self.proc.pid,
+                              args={"enclave_id": self.setup.enclave_id}):
+            if self.flush_on_exit and not self._flushing:
+                # Route through VeilS-ENC so privileged WBINVD scrubs
+                # this core's cache/TLB footprint before untrusted code
+                # runs.
+                self._flushing = True
+                try:
+                    self.service_request({
+                        "op": "enc_flush_cpu_state",
+                        "enclave_id": self.setup.enclave_id})
+                finally:
+                    self._flushing = False
+            ghcb = self._user_ghcb()
+            ghcb.write_message(
+                self.machine.memory,
+                {"op": "domain_switch", "target_vmpl": VMPL_UNT})
+            self.core.vmgexit()
         self.inside = False
 
     @property
@@ -250,23 +260,26 @@ class EnclaveRuntime:
         if self.killed:
             raise SdkError("enclave was killed")
         self.staging_reset()
-        try:
-            marshalled = self.sanitizer.marshal(name, args)
-        except SdkError:
-            self._kill()
-            raise
-        before_exits = self.core.exit_count
-        self.exit_to_untrusted()
-        try:
-            result = self.kernel.syscall(self.core, self.proc, name,
-                                         *marshalled.proxy_args)
-        finally:
-            self.enter()
-        try:
-            self.sanitizer.finish(name, marshalled, result)
-        except SecurityViolation:
-            self._kill()
-            raise
+        with self.tracer.span("enclave", f"redirect:{name}",
+                              vcpu=self.vcpu_id, vmpl=VMPL_ENC,
+                              pid=self.proc.pid):
+            try:
+                marshalled = self.sanitizer.marshal(name, args)
+            except SdkError:
+                self._kill()
+                raise
+            before_exits = self.core.exit_count
+            self.exit_to_untrusted()
+            try:
+                result = self.kernel.syscall(self.core, self.proc, name,
+                                             *marshalled.proxy_args)
+            finally:
+                self.enter()
+            try:
+                self.sanitizer.finish(name, marshalled, result)
+            except SecurityViolation:
+                self._kill()
+                raise
         self.syscall_count += 1
         self.enclave_exits += 1
         self.redirect_bytes += marshalled.bytes_total
@@ -300,14 +313,18 @@ class EnclaveRuntime:
         if not queued:
             return []
         self._require_inside()
-        self.exit_to_untrusted()
-        results = []
-        try:
-            for name, proxy_args in queued:
-                results.append(self.kernel.syscall(
-                    self.core, self.proc, name, *proxy_args))
-        finally:
-            self.enter()
+        with self.tracer.span("enclave", "batch_flush",
+                              vcpu=self.vcpu_id, vmpl=VMPL_ENC,
+                              pid=self.proc.pid,
+                              args={"calls": len(queued)}):
+            self.exit_to_untrusted()
+            results = []
+            try:
+                for name, proxy_args in queued:
+                    results.append(self.kernel.syscall(
+                        self.core, self.proc, name, *proxy_args))
+            finally:
+                self.enter()
         self.syscall_count += len(queued)
         self.enclave_exits += 1
         return results
@@ -349,14 +366,19 @@ class EnclaveRuntime:
         assert record.idcb is not None
         request = dict(request)
         request["_reply_to"] = VMPL_ENC
-        record.idcb.write_request(self.machine.memory, request)
-        ghcb = self._user_ghcb()
-        ghcb.write_message(self.machine.memory,
-                           {"op": "domain_switch", "target_vmpl": VMPL_SER})
-        self.core.vmgexit()
-        # Core now runs DomSER: the service body handles the request and
-        # switches back to DomENC.
-        self.system.veilmon.on_ser_entry(self.core, idcb=record.idcb)
+        with self.tracer.span("enclave", f"service:{request.get('op')}",
+                              vcpu=self.vcpu_id, vmpl=VMPL_ENC,
+                              pid=self.proc.pid,
+                              args={"enclave_id": self.setup.enclave_id}):
+            record.idcb.write_request(self.machine.memory, request)
+            ghcb = self._user_ghcb()
+            ghcb.write_message(
+                self.machine.memory,
+                {"op": "domain_switch", "target_vmpl": VMPL_SER})
+            self.core.vmgexit()
+            # Core now runs DomSER: the service body handles the request
+            # and switches back to DomENC.
+            self.system.veilmon.on_ser_entry(self.core, idcb=record.idcb)
         self.enclave_exits += 1
         reply = record.idcb.read_reply(self.machine.memory)
         if reply.get("status") == "denied":

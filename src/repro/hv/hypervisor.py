@@ -19,6 +19,7 @@ assigned guest pages are inaccessible from outside.
 from __future__ import annotations
 
 import typing
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import NestedPageFault, SecurityViolation, \
@@ -26,7 +27,7 @@ from ..errors import NestedPageFault, SecurityViolation, \
 from ..hw.ghcb import Ghcb
 from ..hw.memory import page_base
 from ..hw.pagetable import PageFault
-from ..hw.rmp import VMPL_ENC, VMPL_MON, VMPL_UNT
+from ..hw.rmp import VMPL_ENC, VMPL_MON, VMPL_UNT, vmpl_name
 from ..hw.vmsa import Vmsa
 from .attestation import SecureProcessor
 from .devices import VirtioBlock, VirtioConsole
@@ -38,6 +39,56 @@ if typing.TYPE_CHECKING:
 
 class HostAccessBlocked(SecurityViolation):
     """SEV-SNP blocked a host-side access to assigned guest memory."""
+
+
+#: Exit-log retention.  512 entries comfortably covers every "recent
+#: exits" assertion in the test/attack suites while bounding memory on
+#: multi-thousand-switch benchmark runs.
+EXIT_LOG_CAPACITY = 512
+
+
+class ExitLog:
+    """Bounded record of recent exits (compat shim over a ring buffer).
+
+    Historically ``Hypervisor.exit_log`` was a plain list that grew one
+    string per exit forever.  It is now a fixed-capacity ring: the most
+    recent :data:`EXIT_LOG_CAPACITY` entries support the same ``in`` /
+    iteration / indexing idioms tests use, while :attr:`total` keeps the
+    all-time count.  Full-fidelity exit history lives in the machine's
+    tracer, not here.
+    """
+
+    def __init__(self, capacity: int = EXIT_LOG_CAPACITY):
+        self._ring: deque[str] = deque(maxlen=capacity)
+        self.total = 0
+
+    def append(self, entry: str) -> None:
+        """Record one exit (evicting the oldest once at capacity)."""
+        self._ring.append(entry)
+        self.total += 1
+
+    def recent(self, n: int | None = None) -> list[str]:
+        """The last ``n`` retained entries (all retained if ``None``)."""
+        entries = list(self._ring)
+        return entries if n is None else entries[-n:]
+
+    def clear(self) -> None:
+        """Drop the buffered tail (``total`` keeps counting)."""
+        self._ring.clear()
+
+    def __contains__(self, entry: str) -> bool:
+        return entry in self._ring
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._ring)[index]
+        return self._ring[index]
 
 
 @dataclass
@@ -71,7 +122,7 @@ class Hypervisor:
         self.interrupt_return_hook = None
         # ---- attack knobs (section 8) -------------------------------------
         self.refuse_interrupt_relay = False
-        self.exit_log: list[str] = []
+        self.exit_log = ExitLog()
 
     # ------------------------------------------------------------------
     # Launch
@@ -138,10 +189,23 @@ class Hypervisor:
         message = ghcb.read_message(self.machine.memory)
         op = message.get("op")
         self.exit_log.append(f"vmgexit:{op}")
+        self.machine.tracer.metrics.count("vmgexit", str(op))
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             self.machine.halt(f"unknown VMGEXIT op {op!r}")
         handler(core, exited, ghcb, message)
+
+    def trace_span(self, core: "VirtualCpu", exited: Vmsa, name: str,
+                   **args):
+        """Open an ``hv``-category span attributed to the exited domain.
+
+        Every ``_op_*`` handler opens one of these (enforced by
+        veil-lint's ``trace-span`` rule), so hypervisor-side servicing of
+        each exit is visible per-operation in exported traces.
+        """
+        return self.machine.tracer.span(
+            "hv", name, vcpu=core.cpu_index, vmpl=exited.vmpl,
+            args=args or None)
 
     def _enter(self, core: "VirtualCpu", vmsa: Vmsa) -> None:
         """VMENTER ``core`` on ``vmsa`` (charges the enter half-cost)."""
@@ -156,21 +220,27 @@ class Hypervisor:
     def _op_domain_switch(self, core, exited: Vmsa, ghcb: Ghcb,
                           message: dict) -> None:
         target_vmpl = int(message["target_vmpl"])
-        policy = self.ghcb_policies.get(ghcb.ppn)
-        if policy is None:
-            self.machine.halt(
-                f"domain switch via unregistered GHCB {ghcb.ppn:#x}")
-        pair = (exited.vmpl, target_vmpl)
-        if pair not in policy.allowed_switches:
-            # Paper section 6.2: errant hypercalls crash the CVM.
-            self.machine.halt(
-                f"GHCB {ghcb.ppn:#x} does not permit switch "
-                f"VMPL-{pair[0]} -> VMPL-{pair[1]}")
-        target = self.vmsas.get((exited.vcpu_id, target_vmpl))
-        if target is None:
-            self.machine.halt(
-                f"no VMSA for vcpu {exited.vcpu_id} at VMPL-{target_vmpl}")
-        self._enter(core, target)
+        with self.trace_span(core, exited, "op:domain_switch",
+                             target_vmpl=target_vmpl):
+            policy = self.ghcb_policies.get(ghcb.ppn)
+            if policy is None:
+                self.machine.halt(
+                    f"domain switch via unregistered GHCB {ghcb.ppn:#x}")
+            pair = (exited.vmpl, target_vmpl)
+            if pair not in policy.allowed_switches:
+                # Paper section 6.2: errant hypercalls crash the CVM.
+                self.machine.halt(
+                    f"GHCB {ghcb.ppn:#x} does not permit switch "
+                    f"VMPL-{pair[0]} -> VMPL-{pair[1]}")
+            target = self.vmsas.get((exited.vcpu_id, target_vmpl))
+            if target is None:
+                self.machine.halt(
+                    f"no VMSA for vcpu {exited.vcpu_id} at "
+                    f"VMPL-{target_vmpl}")
+            self.machine.tracer.metrics.count(
+                "switch",
+                f"{vmpl_name(exited.vmpl)}->{vmpl_name(target_vmpl)}")
+            self._enter(core, target)
 
     def _op_register_vmsa(self, core, exited: Vmsa, ghcb: Ghcb,
                           message: dict) -> None:
@@ -181,58 +251,67 @@ class Hypervisor:
         registration therefore cannot produce a runnable instance.
         """
         ppn = int(message["vmsa_ppn"])
-        ent = self.machine.rmp.peek(ppn)
-        vmsa = self.machine.vmsa_objects.get(ppn)
-        if vmsa is None or not ent.vmsa:
-            self.machine.halt(f"register_vmsa on non-VMSA page {ppn:#x}")
-        self.vmsas[(vmsa.vcpu_id, vmsa.vmpl)] = vmsa
-        self._resume_same(core, exited)
+        with self.trace_span(core, exited, "op:register_vmsa", ppn=ppn):
+            ent = self.machine.rmp.peek(ppn)
+            vmsa = self.machine.vmsa_objects.get(ppn)
+            if vmsa is None or not ent.vmsa:
+                self.machine.halt(
+                    f"register_vmsa on non-VMSA page {ppn:#x}")
+            self.vmsas[(vmsa.vcpu_id, vmsa.vmpl)] = vmsa
+            self._resume_same(core, exited)
 
     def _op_start_vcpu(self, core, exited: Vmsa, ghcb: Ghcb,
                        message: dict) -> None:
         """AP boot / hotplug: start a core on a registered VMSA."""
         vcpu_id = int(message["vcpu_id"])
         vmpl = int(message.get("vmpl", VMPL_UNT))
-        target = self.vmsas.get((vcpu_id, vmpl))
-        if target is None:
-            self.machine.halt(f"start_vcpu: no VMSA for vcpu {vcpu_id} "
-                              f"at VMPL-{vmpl}")
-        if vcpu_id >= len(self.machine.cores):
-            self.machine.halt(f"start_vcpu: no physical core {vcpu_id}")
-        self._enter(self.machine.cores[vcpu_id], target)
-        self._resume_same(core, exited)
+        with self.trace_span(core, exited, "op:start_vcpu",
+                             target_vcpu=vcpu_id, target_vmpl=vmpl):
+            target = self.vmsas.get((vcpu_id, vmpl))
+            if target is None:
+                self.machine.halt(f"start_vcpu: no VMSA for vcpu "
+                                  f"{vcpu_id} at VMPL-{vmpl}")
+            if vcpu_id >= len(self.machine.cores):
+                self.machine.halt(
+                    f"start_vcpu: no physical core {vcpu_id}")
+            self._enter(self.machine.cores[vcpu_id], target)
+            self._resume_same(core, exited)
 
     def _op_page_state_change(self, core, exited: Vmsa, ghcb: Ghcb,
                               message: dict) -> None:
         """Guest asks to convert pages private<->shared (KVM assists)."""
         action = message["action"]
-        for ppn in message["ppns"]:
-            if action == "share":
-                self.machine.rmp.share(int(ppn))
-            elif action == "private":
-                self.machine.rmp.assign(int(ppn))
-            else:
-                self.machine.halt(f"bad page_state_change {action!r}")
-        self._resume_same(core, exited)
+        with self.trace_span(core, exited, "op:page_state_change",
+                             action=str(action),
+                             pages=len(message["ppns"])):
+            for ppn in message["ppns"]:
+                if action == "share":
+                    self.machine.rmp.share(int(ppn))
+                elif action == "private":
+                    self.machine.rmp.assign(int(ppn))
+                else:
+                    self.machine.halt(f"bad page_state_change {action!r}")
+            self._resume_same(core, exited)
 
     def _op_io(self, core, exited: Vmsa, ghcb: Ghcb, message: dict) -> None:
         """Device I/O: console writes and block-device sector access."""
         device = message["device"]
         reply: dict = {"status": "ok"}
-        if device == "console":
-            data = bytes.fromhex(message["data_hex"])
-            reply["written"] = self.console.write(data)
-        elif device == "block":
-            lba = int(message["lba"])
-            if message["action"] == "read":
-                reply["data_hex"] = self.block.read_sector(lba).hex()
+        with self.trace_span(core, exited, "op:io", device=str(device)):
+            if device == "console":
+                data = bytes.fromhex(message["data_hex"])
+                reply["written"] = self.console.write(data)
+            elif device == "block":
+                lba = int(message["lba"])
+                if message["action"] == "read":
+                    reply["data_hex"] = self.block.read_sector(lba).hex()
+                else:
+                    self.block.write_sector(
+                        lba, bytes.fromhex(message["data_hex"]))
             else:
-                self.block.write_sector(lba,
-                                        bytes.fromhex(message["data_hex"]))
-        else:
-            self.machine.halt(f"io to unknown device {device!r}")
-        ghcb.write_message(self.machine.memory, reply)
-        self._resume_same(core, exited)
+                self.machine.halt(f"io to unknown device {device!r}")
+            ghcb.write_message(self.machine.memory, reply)
+            self._resume_same(core, exited)
 
     def _op_attestation_report(self, core, exited: Vmsa, ghcb: Ghcb,
                                message: dict) -> None:
@@ -241,21 +320,24 @@ class Hypervisor:
         The PSP stamps the *requesting VMPL* from the hardware context --
         the hypervisor cannot lie about it.
         """
-        report = self.psp.attestation_report(
-            requester_vmpl=exited.vmpl,
-            report_data=bytes.fromhex(message["report_data_hex"]))
-        ghcb.write_message(self.machine.memory, {
-            "status": "ok",
-            "measurement_hex": report.measurement.hex(),
-            "requester_vmpl": report.requester_vmpl,
-            "report_data_hex": report.report_data.hex(),
-            "signature_hex": report.signature.hex(),
-        })
-        self._resume_same(core, exited)
+        with self.trace_span(core, exited, "op:attestation_report"):
+            report = self.psp.attestation_report(
+                requester_vmpl=exited.vmpl,
+                report_data=bytes.fromhex(message["report_data_hex"]))
+            ghcb.write_message(self.machine.memory, {
+                "status": "ok",
+                "measurement_hex": report.measurement.hex(),
+                "requester_vmpl": report.requester_vmpl,
+                "report_data_hex": report.report_data.hex(),
+                "signature_hex": report.signature.hex(),
+            })
+            self._resume_same(core, exited)
 
     def _op_halt(self, core, exited: Vmsa, ghcb: Ghcb,
                  message: dict) -> None:
-        self.machine.halt(message.get("reason", "guest requested halt"))
+        with self.trace_span(core, exited, "op:halt"):
+            self.machine.halt(
+                message.get("reason", "guest requested halt"))
 
     # ------------------------------------------------------------------
     # Automatic exits (interrupts)
@@ -276,24 +358,29 @@ class Hypervisor:
         if exited is None:
             raise SimulationError("automatic exit with no instance")
         self.exit_log.append(f"auto:{reason}:vmpl{exited.vmpl}")
-        if exited.vmpl != VMPL_ENC:
-            # Kernel/monitor context: re-enter and let the guest handle it.
+        self.machine.tracer.metrics.count("auto_exit", reason)
+        with self.trace_span(core, exited, f"auto:{reason}"):
+            if exited.vmpl != VMPL_ENC:
+                # Kernel/monitor context: re-enter and let the guest
+                # handle it.
+                self._enter(core, exited)
+                return
+            if self.refuse_interrupt_relay:
+                self._force_interrupt_into_enclave(core, exited)
+                return
+            target = self.vmsas.get(
+                (exited.vcpu_id, self.interrupt_relay_vmpl))
+            if target is None:
+                self.machine.halt(
+                    "no DomUNT instance to relay interrupt to")
+            self._enter(core, target)
+            if self.interrupt_return_hook is not None:
+                self.interrupt_return_hook(core)
+            # Kernel done; world-switch back into the enclave instance.
+            self.machine.ledger.charge("domain_switch",
+                                       self.machine.cost.vmgexit)
+            core.hw_exit()
             self._enter(core, exited)
-            return
-        if self.refuse_interrupt_relay:
-            self._force_interrupt_into_enclave(core, exited)
-            return
-        target = self.vmsas.get((exited.vcpu_id, self.interrupt_relay_vmpl))
-        if target is None:
-            self.machine.halt("no DomUNT instance to relay interrupt to")
-        self._enter(core, target)
-        if self.interrupt_return_hook is not None:
-            self.interrupt_return_hook(core)
-        # Kernel done; world-switch back into the enclave instance.
-        self.machine.ledger.charge("domain_switch",
-                                   self.machine.cost.vmgexit)
-        core.hw_exit()
-        self._enter(core, exited)
 
     def _force_interrupt_into_enclave(self, core, enc_vmsa: Vmsa) -> None:
         """Attack path: deliver the interrupt in the enclave context.

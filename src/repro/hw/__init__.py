@@ -20,8 +20,8 @@ from .ghcb import Ghcb
 from .memory import PAGE_SIZE, PhysicalMemory, page_base, page_number
 from .pagetable import GuestPageTable, PageFault, Pte
 from .platform import FrameAllocator, SevSnpMachine
-from .rmp import (Access, NUM_VMPLS, Rmp, RmpEntry, VMPL_ENC, VMPL_MON,
-                  VMPL_SER, VMPL_UNT)
+from .rmp import (Access, DOMAIN_NAMES, NUM_VMPLS, Rmp, RmpEntry,
+                  VMPL_ENC, VMPL_MON, VMPL_SER, VMPL_UNT, vmpl_name)
 from .vcpu import VirtualCpu
 from .vmsa import GPR_NAMES, RegisterFile, Vmsa
 
@@ -31,5 +31,6 @@ __all__ = [
     "PhysicalMemory", "page_base", "page_number", "GuestPageTable",
     "PageFault", "Pte", "FrameAllocator", "SevSnpMachine", "Access",
     "NUM_VMPLS", "Rmp", "RmpEntry", "VMPL_ENC", "VMPL_MON", "VMPL_SER",
-    "VMPL_UNT", "VirtualCpu", "GPR_NAMES", "RegisterFile", "Vmsa",
+    "VMPL_UNT", "DOMAIN_NAMES", "vmpl_name", "VirtualCpu", "GPR_NAMES",
+    "RegisterFile", "Vmsa",
 ]

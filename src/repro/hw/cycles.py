@@ -17,6 +17,7 @@ the paper's stacked breakdowns (e.g. Fig. 5 splits enclave overhead into
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -113,14 +114,14 @@ class CycleLedger:
     """
 
     total: int = 0
-    by_category: dict = field(default_factory=dict)
+    by_category: dict[str, int] = field(default_factory=Counter)
 
     def charge(self, category: str, cycles: int) -> None:
         """Add ``cycles`` under ``category``."""
         if cycles < 0:
             raise ValueError(f"negative charge: {cycles}")
         self.total += cycles
-        self.by_category[category] = self.by_category.get(category, 0) + cycles
+        self.by_category[category] += cycles
 
     def category(self, name: str) -> int:
         """Total charged under one category."""

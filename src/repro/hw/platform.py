@@ -11,6 +11,7 @@ from __future__ import annotations
 import typing
 
 from ..errors import CvmHalted, SimulationError
+from ..trace import NULL_TRACER, default_tracer
 from .cycles import CostModel, CycleLedger
 from .memory import PhysicalMemory
 from .pagetable import GuestPageTable
@@ -67,13 +68,20 @@ class SevSnpMachine:
     """A server machine running one confidential VM under SEV-SNP."""
 
     def __init__(self, *, memory_bytes: int = 64 * 1024 * 1024,
-                 num_cores: int = 4, cost: CostModel | None = None):
+                 num_cores: int = 4, cost: CostModel | None = None,
+                 tracer=None):
         self.cost = cost or CostModel()
         self.ledger = CycleLedger()
+        # Observability: an explicit tracer wins, then the process-wide
+        # default (benchmark fixture), then the no-op tracer.  Tracing
+        # never charges the ledger, so cycle totals are identical with
+        # it on or off.
+        self.tracer = tracer or default_tracer() or NULL_TRACER
+        self.tracer.attach_ledger(self.ledger)
         self.memory = PhysicalMemory(memory_bytes, cost=self.cost,
                                      ledger=self.ledger)
         self.rmp = Rmp(self.memory.num_pages, cost=self.cost,
-                       ledger=self.ledger)
+                       ledger=self.ledger, tracer=self.tracer)
         self.frames = FrameAllocator(self.memory.num_pages)
         self.cores = [VirtualCpu(self, i) for i in range(num_cores)]
         self._page_tables: dict[int, GuestPageTable] = {}

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..errors import InvalidInstruction, NestedPageFault
+from ..trace import NULL_TRACER
 from .cycles import CostModel, CycleLedger
 
 NUM_VMPLS = 4
@@ -37,6 +38,15 @@ VMPL_MON = 0      # DomMON: the VeilMon security monitor
 VMPL_SER = 1      # DomSER: protected services (KCI / ENC / LOG)
 VMPL_ENC = 2      # DomENC: enclaves
 VMPL_UNT = 3      # DomUNT: the untrusted OS and its processes
+
+#: VMPL -> paper domain name, for telemetry and rendering.
+DOMAIN_NAMES = {VMPL_MON: "DomMON", VMPL_SER: "DomSER",
+                VMPL_ENC: "DomENC", VMPL_UNT: "DomUNT"}
+
+
+def vmpl_name(vmpl: int) -> str:
+    """The paper's domain name for ``vmpl`` (e.g. ``DomMON``)."""
+    return DOMAIN_NAMES.get(vmpl, f"VMPL{vmpl}")
 
 
 class Access(enum.Flag):
@@ -83,7 +93,7 @@ class Rmp:
     """The machine-wide reverse map table."""
 
     def __init__(self, num_pages: int, *, cost: CostModel | None = None,
-                 ledger: CycleLedger | None = None):
+                 ledger: CycleLedger | None = None, tracer=None):
         self.num_pages = num_pages
         self._entries: dict[int, RmpEntry] = {}
         #: Template for pages without an explicit entry.  Bulk operations
@@ -93,6 +103,7 @@ class Rmp:
         self._default = RmpEntry()
         self.cost = cost or CostModel()
         self.ledger = ledger or CycleLedger()
+        self.tracer = tracer or NULL_TRACER
 
     def entry(self, ppn: int) -> RmpEntry:
         """Materialized (mutable) entry for ``ppn``."""
@@ -129,26 +140,32 @@ class Rmp:
             raise InvalidInstruction(
                 f"RMPADJUST from VMPL-{executing_vmpl} may not modify "
                 f"VMPL-{target_vmpl} permissions")
-        self.ledger.charge("rmpadjust", self.cost.rmpadjust * count)
-        # Excluded pages keep their current (typically restricted) state;
-        # materialize them so the default change below cannot reach them.
-        for ppn in exclude:
-            self.entry(ppn)
-        self._default.perms[target_vmpl] = perms
-        for ppn, ent in self._entries.items():
-            if ppn not in exclude and ent.assigned and not ent.vmsa \
-                    and not ent.shared:
-                ent.perms[target_vmpl] = perms
+        with self.tracer.span("hw", "RMPADJUST_SWEEP", vmpl=executing_vmpl,
+                              args={"pages": count,
+                                    "target_vmpl": target_vmpl}):
+            self.ledger.charge("rmpadjust", self.cost.rmpadjust * count)
+            # Excluded pages keep their current (typically restricted)
+            # state; materialize them so the default change below cannot
+            # reach them.
+            for ppn in exclude:
+                self.entry(ppn)
+            self._default.perms[target_vmpl] = perms
+            for ppn, ent in self._entries.items():
+                if ppn not in exclude and ent.assigned and not ent.vmsa \
+                        and not ent.shared:
+                    ent.perms[target_vmpl] = perms
 
     def bulk_assign_validate(self, count: int) -> None:
         """Assign + PVALIDATE every page (launch-time acceptance sweep)."""
-        self.ledger.charge("pvalidate", self.cost.pvalidate * count)
-        self._default.assigned = True
-        self._default.validated = True
-        for ent in self._entries.values():
-            if not ent.shared:
-                ent.assigned = True
-                ent.validated = True
+        with self.tracer.span("hw", "PVALIDATE_SWEEP",
+                              args={"pages": count}):
+            self.ledger.charge("pvalidate", self.cost.pvalidate * count)
+            self._default.assigned = True
+            self._default.validated = True
+            for ent in self._entries.values():
+                if not ent.shared:
+                    ent.assigned = True
+                    ent.validated = True
 
     # -- instruction-level operations -----------------------------------------
 
@@ -177,9 +194,12 @@ class Rmp:
             raise NestedPageFault(
                 f"RMPADJUST on unassigned page {ppn:#x}", gpa=ppn << 12,
                 vmpl=executing_vmpl, access="rmpadjust")
-        self.ledger.charge("rmpadjust", self.cost.rmpadjust)
-        ent.perms[target_vmpl] = perms
-        ent.vmsa = vmsa
+        with self.tracer.span("hw", "RMPADJUST", vmpl=executing_vmpl,
+                              args={"ppn": ppn,
+                                    "target_vmpl": target_vmpl}):
+            self.ledger.charge("rmpadjust", self.cost.rmpadjust)
+            ent.perms[target_vmpl] = perms
+            ent.vmsa = vmsa
 
     def pvalidate(self, *, executing_vmpl: int, ppn: int,
                   validate: bool) -> None:
@@ -192,12 +212,14 @@ class Rmp:
         """
         self._check_vmpl(executing_vmpl)
         ent = self.entry(ppn)
-        self.ledger.charge("pvalidate", self.cost.pvalidate)
-        if validate and not ent.assigned:
-            raise NestedPageFault(
-                f"PVALIDATE on page {ppn:#x} not assigned to the guest",
-                gpa=ppn << 12, vmpl=executing_vmpl, access="pvalidate")
-        ent.validated = validate
+        with self.tracer.span("hw", "PVALIDATE", vmpl=executing_vmpl,
+                              args={"ppn": ppn, "validate": validate}):
+            self.ledger.charge("pvalidate", self.cost.pvalidate)
+            if validate and not ent.assigned:
+                raise NestedPageFault(
+                    f"PVALIDATE on page {ppn:#x} not assigned to the guest",
+                    gpa=ppn << 12, vmpl=executing_vmpl, access="pvalidate")
+            ent.validated = validate
 
     # -- hypervisor-side state transitions ------------------------------------
 

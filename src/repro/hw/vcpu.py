@@ -80,6 +80,9 @@ class VirtualCpu:
                 "is still live")
         self.instance = vmsa
         self.regs = vmsa.restore()
+        self.machine.tracer.instant(
+            "hw", "VMENTER", vcpu=self.cpu_index, vmpl=vmsa.vmpl,
+            args={"vcpu_id": vmsa.vcpu_id})
 
     def hw_exit(self) -> Vmsa:
         """VMEXIT: seal register state back into the current VMSA."""
@@ -108,6 +111,9 @@ class VirtualCpu:
                 self.machine.rmp.check_access(ppn=ppn, vmpl=self.vmpl,
                                               access=access)
             except NestedPageFault as fault:
+                self.machine.tracer.instant(
+                    "hw", "NPF", vcpu=self.cpu_index, vmpl=self.vmpl,
+                    args={"ppn": ppn, "access": access.name})
                 self.machine.halt(f"continuous #NPF: {fault}", cause=fault)
 
     def read(self, vaddr: int, length: int) -> bytes:
@@ -194,17 +200,28 @@ class VirtualCpu:
         domain-switch path).  On return, this core's register state is
         whatever instance the hypervisor chose to resume.
         """
-        self.machine.ledger.charge("domain_switch", self.machine.cost.vmgexit)
-        self.hw_exit()
-        self.machine.hypervisor.handle_vmgexit(self)
+        machine = self.machine
+        # Attribute the span to the VMPL that *took* the exit; after
+        # hw_exit the core may resume on a different instance.
+        exiting_vmpl = self.instance.vmpl if self.instance else -1
+        with machine.tracer.span("hw", "VMGEXIT", vcpu=self.cpu_index,
+                                 vmpl=exiting_vmpl):
+            machine.ledger.charge("domain_switch", machine.cost.vmgexit)
+            self.hw_exit()
+            machine.hypervisor.handle_vmgexit(self)
         if self.instance is None or not self.instance.running:
             raise CvmHalted("hypervisor failed to resume the VCPU")
 
     def automatic_exit(self, reason: str = "interrupt") -> None:
         """Automatic exit (no GHCB protocol), e.g. a timer interrupt."""
-        self.machine.ledger.charge("exit", self.machine.cost.automatic_exit)
-        self.hw_exit()
-        self.machine.hypervisor.handle_automatic_exit(self, reason)
+        machine = self.machine
+        exiting_vmpl = self.instance.vmpl if self.instance else -1
+        with machine.tracer.span("hw", "AE", vcpu=self.cpu_index,
+                                 vmpl=exiting_vmpl,
+                                 args={"reason": reason}):
+            machine.ledger.charge("exit", machine.cost.automatic_exit)
+            self.hw_exit()
+            machine.hypervisor.handle_automatic_exit(self, reason)
 
     # -- microarchitectural state -----------------------------------------------
 

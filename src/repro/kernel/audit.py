@@ -156,6 +156,9 @@ class Kaudit:
                            kind="syscall",
                            detail={"syscall": name, "args": args_summary,
                                    "ret": repr(result)})
+        core.machine.tracer.instant(
+            "audit", f"append:{name}", vcpu=core.cpu_index, pid=pid,
+            args={"seq": entry.seq, "sink": self.sink.name})
         self.sink.append(core, entry)
 
     def log_event(self, core: "VirtualCpu", kind: str, detail: dict) -> None:
@@ -165,4 +168,7 @@ class Kaudit:
         entry = AuditEntry(seq=self._next_seq(),
                            cycles=core.machine.ledger.total, pid=0,
                            kind=kind, detail=detail)
+        core.machine.tracer.instant(
+            "audit", f"append:{kind}", vcpu=core.cpu_index,
+            args={"seq": entry.seq, "sink": self.sink.name})
         self.sink.append(core, entry)

@@ -18,6 +18,7 @@ kernel-privilege primitives (see :mod:`repro.kernel.vulnerable`).
 from __future__ import annotations
 
 import contextlib
+import itertools
 import typing
 
 from ..errors import KernelError, SimulationError
@@ -60,6 +61,9 @@ class Kernel:
         self.symbol_table: dict[str, int] = {}
         self.device_handlers: dict[str, typing.Callable] = {}
         self.processes: dict[int, Process] = {}
+        # Per-kernel pid allocation keeps identical runs on fresh
+        # machines identical (the veil-trace determinism contract).
+        self._pids = itertools.count(1)
         self.text_ppns: list[int] = []
         self.data_ppns: list[int] = []
         self.ghcb_ppns: dict[int, int] = {}
@@ -225,7 +229,7 @@ class Kernel:
             base_vpn=layout.vpn(layout.KERNEL_TEXT_BASE),
             count=layout.KERNEL_TEXT_PAGES, ppn_base=self.text_ppns[0],
             writable=False, user=False, nx=False))
-        proc = Process(name, table)
+        proc = Process(name, table, pid=next(self._pids))
         code_ppns = self.mm.alloc_frames(code_pages, "user-code")
         self.mm.map_region(table, layout.USER_CODE_BASE, code_ppns,
                            writable=False, user=True, nx=False)

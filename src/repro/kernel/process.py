@@ -59,8 +59,13 @@ class Process:
 
     _pids = itertools.count(1)
 
-    def __init__(self, name: str, page_table: GuestPageTable):
-        self.pid = next(Process._pids)
+    def __init__(self, name: str, page_table: GuestPageTable,
+                 pid: int | None = None):
+        # A kernel passes its own per-instance pid so identical runs on
+        # fresh machines allocate identical pids (trace determinism);
+        # the process-wide counter is the standalone-construction
+        # fallback only.
+        self.pid = next(Process._pids) if pid is None else pid
         self.name = name
         self.page_table = page_table
         self.fds: dict[int, FileDescriptor] = {}

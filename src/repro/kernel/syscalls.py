@@ -19,6 +19,7 @@ VeilS-LOG attaches.
 from __future__ import annotations
 
 import typing
+from collections import Counter
 
 from ..errors import KernelError
 from ..hw.memory import PAGE_SIZE
@@ -76,7 +77,7 @@ class SyscallTable:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self.call_count = 0
-        self.per_syscall_counts: dict[str, int] = {}
+        self.per_syscall_counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -96,24 +97,28 @@ class SyscallTable:
         if handler is None:
             raise KernelError(ENOSYS, f"unimplemented syscall {name}")
         self.call_count += 1
-        self.per_syscall_counts[name] = \
-            self.per_syscall_counts.get(name, 0) + 1
-        machine.ledger.charge("syscall", machine.cost.syscall_entry)
-        machine.ledger.charge("syscall", BASE_COSTS.get(name, 1000))
-        # Execute-ahead auditing (section 6.3): the record is produced and
-        # protected *before* the audited event runs, so it survives even if
-        # the event is the compromise itself.
-        self.kernel.audit.log_syscall(core, proc.pid, name,
-                                      self._summarize(args), "ahead")
-        prev_cpl = core.regs.cpl
-        prev_cr3 = core.regs.cr3
-        core.regs.cr3 = proc.page_table.root_ppn
-        core.regs.cpl = 0
-        try:
-            result = handler(core, proc, *args, **kwargs)
-        finally:
-            core.regs.cpl = prev_cpl
-            core.regs.cr3 = prev_cr3
+        self.per_syscall_counts[name] += 1
+        tracer = machine.tracer
+        tracer.metrics.count("syscall", name)
+        vmpl = core.instance.vmpl if core.instance is not None else -1
+        with tracer.span("syscall", name, vcpu=core.cpu_index,
+                         vmpl=vmpl, pid=proc.pid):
+            machine.ledger.charge("syscall", machine.cost.syscall_entry)
+            machine.ledger.charge("syscall", BASE_COSTS.get(name, 1000))
+            # Execute-ahead auditing (section 6.3): the record is produced
+            # and protected *before* the audited event runs, so it survives
+            # even if the event is the compromise itself.
+            self.kernel.audit.log_syscall(core, proc.pid, name,
+                                          self._summarize(args), "ahead")
+            prev_cpl = core.regs.cpl
+            prev_cr3 = core.regs.cr3
+            core.regs.cr3 = proc.page_table.root_ppn
+            core.regs.cpl = 0
+            try:
+                result = handler(core, proc, *args, **kwargs)
+            finally:
+                core.regs.cpl = prev_cpl
+                core.regs.cr3 = prev_cr3
         return result
 
     @staticmethod

@@ -1,0 +1,44 @@
+"""``python -m repro.trace validate <file.json>``: trace file checker.
+
+Used by CI to assert that exported traces conform to the Chrome
+trace-event schema before uploading them as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import validate_chrome_trace
+
+
+def run(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.trace",
+        description="veil-trace file utilities")
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser(
+        "validate", help="check a trace file against the Chrome schema")
+    validate.add_argument("path", help="trace JSON file to validate")
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        try:
+            obj = json.load(fh)
+        except json.JSONDecodeError as exc:
+            print(f"{args.path}: not valid JSON: {exc}", file=sys.stderr)
+            return 1
+    problems = validate_chrome_trace(obj)
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        return 1
+    events = len(obj["traceEvents"])
+    print(f"{args.path}: OK ({events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,145 @@
+"""Counters and cycle histograms aggregated from the trace stream.
+
+Where the ring buffer in :mod:`repro.trace.tracer` keeps the *recent*
+event tail, the metrics registry keeps *lossless aggregates* for the
+whole run: how many times each syscall dispatched, the cycle
+distribution of each service operation, how often each domain-switch
+pair (``DomUNT->DomMON`` etc.) occurred.  Benchmarks read these instead
+of hand-diffing ledger snapshots, and the registry dump is part of the
+byte-identical determinism contract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class CycleHistogram:
+    """Power-of-two bucketed distribution of cycle observations.
+
+    Buckets are ``bit_length`` of the observation, so bucket ``b`` holds
+    values in ``[2**(b-1), 2**b)`` (bucket 0 holds exactly zero).  A
+    handful of integer buckets is enough to tell a 3k-cycle VMGEXIT from
+    a 7k-cycle full switch without storing every sample.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+        self.buckets: Counter[int] = Counter()
+
+    def observe(self, cycles: int) -> None:
+        """Record one observation of ``cycles``."""
+        if self.count == 0:
+            self.min = cycles
+            self.max = cycles
+        else:
+            if cycles < self.min:
+                self.min = cycles
+            if cycles > self.max:
+                self.max = cycles
+        self.count += 1
+        self.total += cycles
+        self.buckets[cycles.bit_length()] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Deterministic plain-data form for export/dumps."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named counters plus per-key cycle histograms.
+
+    Counters are namespaced ``name/key`` (e.g. ``syscall/open``,
+    ``switch/DomUNT->DomMON``); histograms use the same addressing.  The
+    tracer feeds ``span`` counts and ``cycles`` histograms automatically
+    on every span close; instrumented layers add their own domain
+    counters (``vmgexit``, ``syscall``, ``service``, ``switch``).
+    """
+
+    def __init__(self):
+        self.counters: Counter[str] = Counter()
+        self.histograms: dict[str, CycleHistogram] = {}
+
+    def count(self, name: str, key: str | None = None, n: int = 1) -> None:
+        """Increment counter ``name`` (or ``name/key``) by ``n``."""
+        self.counters[name if key is None else f"{name}/{key}"] += n
+
+    def observe(self, name: str, key: str, cycles: int) -> None:
+        """Record ``cycles`` into histogram ``name/key``."""
+        full = f"{name}/{key}"
+        hist = self.histograms.get(full)
+        if hist is None:
+            hist = self.histograms[full] = CycleHistogram()
+        hist.observe(cycles)
+
+    def counter(self, name: str, key: str | None = None) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters[name if key is None else f"{name}/{key}"]
+
+    def histogram(self, name: str, key: str) -> CycleHistogram | None:
+        """The histogram at ``name/key``, or None if never observed."""
+        return self.histograms.get(f"{name}/{key}")
+
+    def counters_named(self, name: str) -> dict[str, int]:
+        """All ``name/<key>`` counters, keyed by ``<key>``."""
+        prefix = f"{name}/"
+        return {k[len(prefix):]: v for k, v in self.counters.items()
+                if k.startswith(prefix)}
+
+    def dump(self) -> dict:
+        """Deterministic plain-data snapshot of the whole registry."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {k: self.histograms[k].as_dict()
+                           for k in sorted(self.histograms)},
+        }
+
+
+class NullMetrics:
+    """No-op registry used by the :class:`~repro.trace.NullTracer`."""
+
+    counters: Counter = Counter()
+    histograms: dict = {}
+
+    def count(self, name, key=None, n=1) -> None:
+        """No-op (tracing disabled)."""
+
+    def observe(self, name, key, cycles) -> None:
+        """No-op (tracing disabled)."""
+
+    def counter(self, name, key=None) -> int:
+        """Always zero."""
+        return 0
+
+    def histogram(self, name, key):
+        """Always None."""
+        return None
+
+    def counters_named(self, name) -> dict:
+        """Always empty."""
+        return {}
+
+    def dump(self) -> dict:
+        """The empty registry snapshot."""
+        return {"counters": {}, "histograms": {}}
+
+
+#: Process-wide shared no-op registry.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,106 @@
+"""Positive and negative cases for the trace-span coverage rule."""
+
+from repro.analysis.rules import TraceSpanRule
+
+from .conftest import findings_for
+
+
+def check(analyze, files):
+    return findings_for(analyze(files, rules=[TraceSpanRule()]),
+                        "trace-span")
+
+
+class TestHypervisorOps:
+    def test_untraced_op_is_flagged(self, analyze):
+        found = check(analyze, {"hv/hypervisor.py": """
+            class Hypervisor:
+                def _op_io(self, core, exited, message):
+                    return {"status": "ok"}
+            """})
+        assert len(found) == 1
+        assert "Hypervisor._op_io" in found[0].message
+
+    def test_op_with_trace_span_passes(self, analyze):
+        assert check(analyze, {"hv/hypervisor.py": """
+            class Hypervisor:
+                def _op_io(self, core, exited, message):
+                    with self.trace_span(core, exited, "op:io"):
+                        return {"status": "ok"}
+            """}) == []
+
+    def test_op_with_direct_span_call_passes(self, analyze):
+        assert check(analyze, {"hv/hypervisor.py": """
+            class Hypervisor:
+                def _op_io(self, core, exited, message):
+                    with self.machine.tracer.span("hv", "op:io"):
+                        return {"status": "ok"}
+            """}) == []
+
+    def test_non_op_methods_are_ignored(self, analyze):
+        assert check(analyze, {"hv/hypervisor.py": """
+            class Hypervisor:
+                def handle_vmgexit(self, core, exited):
+                    return None
+                def _relay(self, core):
+                    return None
+            """}) == []
+
+    def test_other_classes_op_methods_ignored(self, analyze):
+        assert check(analyze, {"hv/other.py": """
+            class Relay:
+                def _op_io(self, core, exited, message):
+                    return {"status": "ok"}
+            """}) == []
+
+
+class TestServiceHandlers:
+    def test_untraced_handler_is_flagged(self, analyze):
+        found = check(analyze, {"core/services/log.py": """
+            from .base import ProtectedService
+
+            class VeilSLog(ProtectedService):
+                def handle_append(self, core, request):
+                    return {"status": "ok"}
+            """})
+        assert len(found) == 1
+        assert "VeilSLog.handle_append" in found[0].message
+
+    def test_traced_decorator_passes(self, analyze):
+        assert check(analyze, {"core/services/log.py": """
+            from .base import ProtectedService, traced
+
+            class VeilSLog(ProtectedService):
+                @traced("append")
+                def handle_append(self, core, request):
+                    return {"status": "ok"}
+            """}) == []
+
+    def test_trace_span_body_passes(self, analyze):
+        assert check(analyze, {"core/services/log.py": """
+            from .base import ProtectedService
+
+            class VeilSLog(ProtectedService):
+                def handle_append(self, core, request):
+                    with self.trace_span(core, "append"):
+                        return {"status": "ok"}
+            """}) == []
+
+    def test_non_service_handle_methods_ignored(self, analyze):
+        assert check(analyze, {"kernel/devices.py": """
+            class ConsoleDevice:
+                def handle_write(self, core, request):
+                    return 0
+            """}) == []
+
+    def test_suppression_is_honored(self, analyze):
+        report = analyze({"core/services/log.py": """
+            from .base import ProtectedService
+
+            class VeilSLog(ProtectedService):
+                def handle_noop(self, core, request):  \
+# veil-lint: allow(trace-span) -- pure accessor, nothing to time
+                    return {"status": "ok"}
+            """}, rules=[TraceSpanRule()])
+        assert findings_for(report, "trace-span") == []
+        assert any(f.rule == "trace-span" and f.suppressed
+                   for f in report.findings)

@@ -12,8 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "lint", "export", "ablations",
-                                    "all"}
+                                    "lint", "trace", "export",
+                                    "ablations", "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -45,6 +45,17 @@ class TestCommands:
         main(["lint"])
         out = capsys.readouterr().out
         assert "veil-lint: ok" in out
+
+    def test_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "switch.trace.json"
+        main(["trace", "switch", "--out", str(out_path), "--top", "3"])
+        out = capsys.readouterr().out
+        assert "veil-trace summary" in out
+        assert "DomUNT->DomMON" in out
+        import json
+        from repro.trace import validate_chrome_trace
+        assert validate_chrome_trace(
+            json.loads(out_path.read_text())) == []
 
     def test_lint_list_rules(self, capsys):
         main(["lint", "--list-rules"])

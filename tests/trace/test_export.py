@@ -1,0 +1,127 @@
+"""Chrome trace-event export, schema validation, and the summary."""
+
+import json
+
+from repro.trace import (Tracer, chrome_trace, dumps_chrome_trace,
+                         render_summary, validate_chrome_trace,
+                         write_chrome_trace)
+from repro.trace.export import UNATTRIBUTED_TRACK
+
+
+class FakeLedger:
+    def __init__(self):
+        self.total = 0
+
+
+def small_tracer() -> Tracer:
+    ledger = FakeLedger()
+    tracer = Tracer()
+    tracer.attach_ledger(ledger)
+    ledger.total = 100
+    with tracer.span("hw", "VMGEXIT", vcpu=0, vmpl=3):
+        ledger.total = 7100
+    with tracer.span("syscall", "open", vcpu=0, vmpl=3, pid=12,
+                     args={"b": 2, "a": 1}):
+        ledger.total = 9000
+    tracer.instant("audit", "append:open", vcpu=1, vmpl=0)
+    tracer.instant("hw", "NPF")            # unattributed
+    return tracer
+
+
+class TestChromeTrace:
+    def test_track_layout_one_process_per_vcpu_thread_per_vmpl(self):
+        obj = chrome_trace(small_tracer())
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        processes = {e["pid"]: e["args"]["name"] for e in meta
+                     if e["name"] == "process_name"}
+        threads = {(e["pid"], e["tid"]): e["args"]["name"] for e in meta
+                   if e["name"] == "thread_name"}
+        assert processes == {0: "vcpu0", 1: "vcpu1",
+                             UNATTRIBUTED_TRACK: "unattributed"}
+        assert threads[(0, 3)] == "VMPL3 DomUNT"
+        assert threads[(1, 0)] == "VMPL0 DomMON"
+        assert (UNATTRIBUTED_TRACK, UNATTRIBUTED_TRACK) in threads
+
+    def test_metadata_precedes_data_events(self):
+        events = chrome_trace(small_tracer())["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases[:phases.count("M")] == ["M"] * phases.count("M")
+
+    def test_complete_event_fields(self):
+        events = chrome_trace(small_tracer())["traceEvents"]
+        (open_event,) = [e for e in events if e["name"] == "open"]
+        assert open_event["ph"] == "X"
+        assert open_event["cat"] == "syscall"
+        assert open_event["ts"] == 7100
+        assert open_event["dur"] == 1900
+        assert open_event["args"] == {"a": 1, "b": 2, "pid": 12}
+
+    def test_instant_event_is_thread_scoped(self):
+        events = chrome_trace(small_tracer())["traceEvents"]
+        (inst,) = [e for e in events if e["name"] == "append:open"]
+        assert inst["ph"] == "i" and inst["s"] == "t"
+        assert "dur" not in inst
+
+    def test_other_data_carries_metrics_dump(self):
+        tracer = small_tracer()
+        other = chrome_trace(tracer)["otherData"]
+        assert other["clock"] == "virtual-cycles"
+        assert other["recorded_events"] == 4
+        assert other["dropped_events"] == 0
+        assert other["metrics"]["counters"]["span/syscall:open"] == 1
+
+    def test_export_passes_own_validator(self):
+        assert validate_chrome_trace(chrome_trace(small_tracer())) == []
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(small_tracer(), path)
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert obj == chrome_trace(small_tracer())
+
+    def test_dumps_is_deterministic(self):
+        assert dumps_chrome_trace(small_tracer()) == \
+            dumps_chrome_trace(small_tracer())
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": 1}) != []
+
+    def test_rejects_bad_event_shapes(self):
+        obj = {"traceEvents": [
+            "not-an-object",
+            {"name": "no-phase", "pid": 0, "tid": 0},
+            {"ph": "X", "name": "no-dur", "pid": 0, "tid": 0, "ts": 1},
+            {"ph": "X", "name": "neg-dur", "pid": 0, "tid": 0,
+             "ts": 1, "dur": -5},
+            {"ph": "i", "name": 42, "pid": 0, "tid": 0, "ts": 1},
+        ]}
+        problems = validate_chrome_trace(obj)
+        assert len(problems) == 5
+
+    def test_metadata_needs_no_timestamp(self):
+        obj = {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": "x"}}]}
+        assert validate_chrome_trace(obj) == []
+
+
+class TestSummary:
+    def test_top_n_and_switch_table(self):
+        tracer = small_tracer()
+        tracer.metrics.count("switch", "DomUNT->DomMON", n=3)
+        text = render_summary(tracer, top=1)
+        assert "veil-trace summary" in text
+        assert "hw:VMGEXIT" in text           # largest total cycles
+        assert "syscall:open" not in text     # cut by top=1
+        assert "1 more span kinds" in text
+        assert "DomUNT->DomMON" in text and "3" in text
+
+    def test_empty_tracer_summary(self):
+        text = render_summary(Tracer())
+        assert "events recorded: 0" in text

@@ -1,0 +1,49 @@
+"""veil-fleet: aggregate throughput scaling from 1 to 8 replicas.
+
+Acceptance: throughput is monotonically increasing under the
+least-outstanding policy, and the metrics registry carries per-replica
+cycle totals and handshake costs for every fleet size.
+"""
+
+from conftest import attach
+
+from repro.bench import render_cluster_scaling, run_cluster_scaling
+from repro.trace import Tracer
+
+
+def test_cluster_scaling_least_outstanding(benchmark, emit):
+    tracer = Tracer()
+
+    def sweep():
+        return run_cluster_scaling(sizes=(1, 2, 4, 8), requests=64,
+                                   policy="least-outstanding",
+                                   tracer=tracer)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_cluster_scaling(rows))
+    attach(benchmark,
+           **{f"replicas{row.replicas}_rps": round(row.throughput_rps)
+              for row in rows},
+           **{f"replicas{row.replicas}_handshake_kc":
+              round(row.mean_handshake_cycles / 1000)
+              for row in rows})
+
+    # Monotonic aggregate throughput 1 -> 8.
+    throughputs = [row.throughput_rps for row in rows]
+    assert throughputs == sorted(throughputs)
+    assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
+    # Near-linear at the top of the sweep: 8 replicas beat 4x a single.
+    assert throughputs[-1] > 4 * throughputs[0]
+
+    # Per-replica cycle totals and handshake costs land in the metrics
+    # registry (fleet-level observability contract).
+    histograms = tracer.metrics.histograms
+    for row in rows:
+        for index in range(row.replicas):
+            name = f"replica{index}"
+            assert row.handshake_cycles[name] > 0
+            assert row.replica_cycles[name] > 0
+            assert histograms[f"handshake_cycles/{name}"].count > 0
+            assert histograms[f"replica_total_cycles/{name}"].total > 0
+    # No replica was rejected in the honest sweep.
+    assert all(row.rejected == 0 for row in rows)

@@ -56,6 +56,12 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
     "enclave": frozenset({"hw", "kernel", "trace", "crypto", "errors"}),
     "core": frozenset({"hw", "hv", "kernel", "enclave", "trace",
                        "crypto", "errors"}),
+    # ``cluster`` composes whole machines: it sits above every
+    # single-machine layer (it may orchestrate all of them, plus the
+    # workload models it deploys), but nothing below may reach back up
+    # into fleet code -- a replica CVM must not know it is in a fleet.
+    "cluster": frozenset({"hw", "hv", "kernel", "enclave", "core",
+                          "workloads", "trace", "crypto", "errors"}),
     # The analyzer itself must not depend on the tree it judges.
     "analysis": frozenset(),
 }

@@ -13,6 +13,7 @@ Commands map one-to-one onto the paper's experiments:
 ``ltp``        LTP-style SDK conformance summary
 ``lint``       veil-lint trust-boundary static analysis of the tree
 ``trace``      run a workload under veil-trace, export a Perfetto trace
+``cluster``    boot a veil-fleet: N attested replicas behind a front end
 ``all``        everything above (the full evaluation)
 =============  ========================================================
 """
@@ -146,6 +147,45 @@ def _cmd_trace(args) -> None:
               f"{args.out} (load in Perfetto / chrome://tracing)")
 
 
+def _cmd_cluster(args) -> None:
+    from .cluster import ClusterConfig, run_cluster
+    from .trace import Tracer, write_chrome_trace
+    tampered = tuple(int(i) for i in args.tampered.split(",")
+                     if i != "") if args.tampered else ()
+    tracer = Tracer(capacity=args.capacity)
+    result = run_cluster(ClusterConfig(
+        replicas=args.replicas, requests=args.requests,
+        workload=args.workload, policy=args.policy,
+        shielded=args.shielded, tampered=tampered), tracer=tracer)
+    print(f"veil-fleet: {args.replicas} replicas, policy {args.policy}, "
+          f"workload {args.workload}")
+    rule = "-" * 64
+    print(rule)
+    print(f"{'replica':<10}{'requests':>10}{'handshake':>14}"
+          f"{'total cycles':>16}")
+    print(rule)
+    for row in result.summary_rows():
+        print(f"{row['replica']:<10}{row['requests']:>10,}"
+              f"{row['handshake_cycles']:>14,}"
+              f"{row['total_cycles']:>16,}")
+    print(rule)
+    for rejected in result.rejected:
+        print(f"REJECTED {rejected.replica}: {rejected.reason}")
+    print(f"routed {result.requests_routed:,} requests, aggregate "
+          f"{result.throughput_rps:,.0f} req/s "
+          f"(makespan {cycles_to_seconds(result.makespan_cycles) * 1000:.2f}"
+          " simulated ms)")
+    print(f"audit: {result.audit.total_entries:,} records pulled from "
+          f"{len(result.audit.replicas)} replicas, chains "
+          f"{'OK' if result.audit.all_verified else 'MISMATCH'}")
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print(f"wrote {tracer.recorded - tracer.dropped} events to "
+              f"{args.out} (load in Perfetto / chrome://tracing)")
+    if not result.audit.all_verified:
+        sys.exit(1)
+
+
 def _cmd_ablations(args) -> None:
     from .bench.ablations import (render_ablations,
                                   run_batching_ablation,
@@ -236,6 +276,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top", type=int, default=10,
                        help="span kinds to show in the summary table")
     trace.set_defaults(fn=_cmd_trace)
+
+    cluster = sub.add_parser(
+        "cluster", help="boot an attested multi-CVM fleet")
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="fleet size (independent Veil CVMs)")
+    cluster.add_argument("--requests", type=int, default=200,
+                         help="closed-loop requests through the front end")
+    cluster.add_argument("--policy", default="least-outstanding",
+                         choices=("round-robin", "least-outstanding",
+                                  "consistent-hash"))
+    cluster.add_argument("--workload", default="memcached",
+                         choices=("memcached", "sqlite"))
+    cluster.add_argument("--shielded", action="store_true",
+                         help="host replica handlers inside VeilS-ENC "
+                              "enclaves")
+    cluster.add_argument("--tampered", default="",
+                         help="comma-separated replica indices booted "
+                              "from a tampered image")
+    cluster.add_argument("--out", default=None,
+                         help="write a Chrome trace-event JSON file")
+    cluster.add_argument("--capacity", type=int, default=65536,
+                         help="tracer ring-buffer capacity (events)")
+    cluster.set_defaults(fn=_cmd_cluster)
 
     export = sub.add_parser("export",
                             help="dump all results as JSON/CSV")

@@ -1,0 +1,157 @@
+"""Attestation-gated secure links between the front end and replicas.
+
+The front end is the fleet's *relying party*: before any request is
+routed to a replica CVM, it demands a PSP-signed attestation report over
+the inter-host fabric, checks the launch measurement against the fleet's
+expected-digest policy, and only then completes the DH handshake that
+derives the per-link keys (the SNPGuard / e-vTPM verification flow, run
+once per replica).  A replica whose report fails verification -- wrong
+digest, forged signature, wrong requesting VMPL -- is never admitted to
+the routing set; the rejection is a recorded trace event.
+
+Each admitted link carries two :class:`~repro.crypto.SecureChannel`
+instances derived from the same attested DH secret:
+
+* the **control channel** -- the exact key VeilMon holds
+  (``user_channel``), used for sealed log export and other
+  monitor-mediated operations;
+* the **data channel** -- a domain-separated derivation
+  (``SHA-256(key || "veil-fleet-data")``) provisioned to the service
+  replica, so high-rate request traffic cannot desynchronize the control
+  channel's sequence numbers.
+
+Keys are per-link: every replica handshake uses a fresh relying-party DH
+keypair, so a record sealed for one replica is garbage on every other
+link (tested in ``tests/crypto``).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..crypto import SecureChannel, sha256
+from ..errors import AttestationError
+from ..hv.attestation import AttestationReport, RemoteUser
+from ..hw import VMPL_MON
+from ..hw.cycles import CostModel
+from .net import decode_message, encode_message
+
+if typing.TYPE_CHECKING:
+    from ..hw.cycles import CycleLedger
+    from .replica import ClusterReplica
+
+#: Domain-separation label folded into the data-plane key derivation.
+DATA_KEY_LABEL = b"veil-fleet-data"
+
+
+def derive_data_key(link_key: bytes) -> bytes:
+    """Domain-separated data-plane key from the attested link key."""
+    return sha256(link_key + DATA_KEY_LABEL)
+
+
+@dataclass
+class AttestedLink:
+    """One verified front-end <-> replica association."""
+
+    replica: str                    # endpoint name on the fabric
+    measurement_hex: str
+    control: SecureChannel          # initiator end of VeilMon's channel
+    data: SecureChannel             # initiator end of the data channel
+    handshake_cycles: int = 0
+
+
+@dataclass
+class RejectedHandshake:
+    """A replica that failed attestation and was refused admission."""
+
+    replica: str
+    reason: str
+
+
+@dataclass
+class FleetVerifier:
+    """Relying-party policy + handshake driver for the whole fleet.
+
+    ``expected_measurement`` is the digest of the boot image the fleet
+    operator built; ``platform_public`` is the AMD platform signing key.
+    Verification work (signature check, digest comparison, key
+    derivation) is charged to the verifier's own ledger -- the front end
+    is a real host with real CPUs.
+    """
+
+    expected_measurement: bytes
+    platform_public: object
+    ledger: "CycleLedger"
+    cost: CostModel = field(default_factory=CostModel)
+    tracer: object = None
+
+    #: Relying-party bookkeeping around one handshake (nonce management,
+    #: policy lookup, session install).
+    HANDSHAKE_BASE_CYCLES = 20_000
+
+    def establish(self, replica: "ClusterReplica",
+                  frontend_name: str) -> AttestedLink:
+        """Run the full attestation handshake with one replica.
+
+        Raises :class:`AttestationError` on any verification failure;
+        the caller records the rejection and excludes the replica.
+        """
+        net = replica.net
+        tracer = self.tracer or replica.tracer
+        before_fe = self.ledger.total
+        before_replica = replica.ledger.total
+        with tracer.span("cluster", "handshake",
+                         args={"replica": replica.name}):
+            user = RemoteUser(self.expected_measurement,
+                              self.platform_public)
+            net.send(frontend_name, replica.name,
+                     encode_message({"kind": "attest"}))
+            replica.pump()
+            _src, wire = net.recv(frontend_name)
+            reply = decode_message(wire)
+            report_dict = reply["report"]
+            report = AttestationReport(
+                measurement=bytes.fromhex(report_dict["measurement_hex"]),
+                requester_vmpl=int(report_dict["requester_vmpl"]),
+                report_data=bytes.fromhex(report_dict["report_data_hex"]),
+                signature=bytes.fromhex(report_dict["signature_hex"]))
+            dh_public = bytes.fromhex(report_dict["dh_public_hex"])
+            # Relying-party verification cost: one RSA verify, hashing the
+            # report body and the DH binding, plus session bookkeeping.
+            self.ledger.charge("crypto", self.cost.signature_verify +
+                               self.cost.sha256_cost(len(dh_public)) +
+                               self.HANDSHAKE_BASE_CYCLES)
+            try:
+                key = user.channel_key_from_report(
+                    report, dh_public, require_vmpl=VMPL_MON)
+            except AttestationError as refused:
+                tracer.instant("cluster", "handshake_rejected",
+                               args={"replica": replica.name,
+                                     "reason": str(refused)})
+                tracer.metrics.count("handshake_rejected", replica.name)
+                raise
+            # Complete the handshake: hand VeilMon our DH public value so
+            # it derives the same key, then provision the data channel.
+            net.send(frontend_name, replica.name, encode_message({
+                "kind": "channel_init",
+                "peer_public_hex": user.dh.public.to_bytes(256,
+                                                           "big").hex()}))
+            replica.pump()
+            _src, wire = net.recv(frontend_name)
+            if decode_message(wire).get("status") != "ok":
+                raise AttestationError(
+                    f"replica {replica.name} refused channel install")
+            handshake_cycles = ((self.ledger.total - before_fe) +
+                                (replica.ledger.total - before_replica))
+            link = AttestedLink(
+                replica=replica.name,
+                measurement_hex=report.measurement.hex(),
+                control=SecureChannel(key, role="initiator"),
+                data=SecureChannel(derive_data_key(key),
+                                   role="initiator"),
+                handshake_cycles=handshake_cycles)
+        tracer.metrics.observe("handshake_cycles", replica.name,
+                               handshake_cycles)
+        tracer.metrics.count("handshake_ok", replica.name)
+        return link

@@ -1,0 +1,115 @@
+"""Fleet-wide audit-log collection and verification.
+
+The auditor is the remote-user side of VeilS-LOG at datacenter scale: a
+central host that pages every replica's ``log_export`` over the fabric,
+unseals each chunk with the attested *control* channel (the exact key
+VeilMon holds), and verifies the service's chained MAC over the full
+record stream.  Because the chain digest travels *inside* the sealed
+record, a compromised relaying OS can neither rewrite entries nor splice
+chunks from different epochs without the recomputed chain diverging.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..crypto.hashes import MeasurementChain
+from ..errors import SecurityViolation
+from ..hw.cycles import CycleLedger
+from ..trace.tracer import NULL_TRACER
+from .attest import AttestedLink
+from .net import InterHostNetwork, decode_message, encode_message
+
+if typing.TYPE_CHECKING:
+    from .replica import ClusterReplica
+
+
+@dataclass
+class ReplicaAudit:
+    """Verified export of one replica's protected log."""
+
+    replica: str
+    entries: list[str]
+    chain_hex: str
+    chunks: int
+    verified: bool = True
+
+
+@dataclass
+class FleetAuditReport:
+    """Aggregate result of one fleet-wide audit sweep."""
+
+    replicas: list[ReplicaAudit] = field(default_factory=list)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(audit.entries) for audit in self.replicas)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(audit.verified for audit in self.replicas)
+
+
+class FleetAuditor:
+    """Central log collector holding the fleet's control channels."""
+
+    def __init__(self, net: InterHostNetwork, *, name: str = "auditor",
+                 tracer=None):
+        self.net = net
+        self.name = name
+        self.tracer = tracer or NULL_TRACER
+        self.ledger = CycleLedger()
+        net.attach(name, self.ledger)
+
+    def pull(self, link: AttestedLink,
+             replica: "ClusterReplica") -> ReplicaAudit:
+        """Page one replica's sealed export and verify its MAC chain."""
+        entries: list[str] = []
+        chain_hex = MeasurementChain().hexdigest
+        start: int | None = 0
+        chunks = 0
+        with self.tracer.span("cluster", "audit_pull",
+                              args={"replica": link.replica}):
+            while start is not None:
+                self.net.send(self.name, link.replica, encode_message(
+                    {"kind": "log_export", "start": start}))
+                replica.pump()
+                _src, wire = self.net.recv(self.name)
+                reply = decode_message(wire)
+                if reply.get("status") != "ok":
+                    raise SecurityViolation(
+                        f"replica {link.replica} refused export: {reply}")
+                sealed = bytes.fromhex(reply["record_hex"])
+                payload = link.control.receive(sealed)  # raises on tamper
+                entries.extend(payload["logs"])
+                chain_hex = payload["chain_hex"]
+                start = reply.get("next")
+                chunks += 1
+        recomputed = MeasurementChain()
+        for entry in entries:
+            recomputed.extend("log", entry.encode("utf-8"))
+        verified = recomputed.hexdigest == chain_hex
+        self.tracer.metrics.count("audit_entries", link.replica,
+                                  len(entries))
+        self.tracer.metrics.count(
+            "audit_verified" if verified else "audit_failed", link.replica)
+        if not verified:
+            self.tracer.instant("cluster", "audit_chain_mismatch",
+                                args={"replica": link.replica})
+        return ReplicaAudit(replica=link.replica, entries=entries,
+                            chain_hex=chain_hex, chunks=chunks,
+                            verified=verified)
+
+    def sweep(self, links: "typing.Iterable[AttestedLink]",
+              replicas: "dict[str, ClusterReplica]") -> FleetAuditReport:
+        """Audit every attested replica; raise if any chain fails."""
+        report = FleetAuditReport()
+        for link in links:
+            audit = self.pull(link, replicas[link.replica])
+            report.replicas.append(audit)
+        if not report.all_verified:
+            bad = [a.replica for a in report.replicas if not a.verified]
+            raise SecurityViolation(
+                f"audit chain mismatch on {', '.join(bad)}")
+        return report

@@ -1,0 +1,224 @@
+"""The fleet's load-balancing front end.
+
+The front end is an ordinary (non-CVM) host: it terminates client
+traffic and fans requests out to attested replicas over per-link data
+channels.  It never sees replica plaintext beyond what the links carry
+-- it *is* the relying party that established those links, so it holds
+the initiator ends.
+
+Scheduling uses a deterministic virtual clock derived from the cycle
+ledgers: the front end's own ledger (which the fabric charges for every
+message) is "now", and each replica has a ``busy_until`` horizon pushed
+forward by the measured service cycles of every request routed to it.
+``outstanding`` is how far a replica's horizon sits beyond now -- the
+queue depth a real least-outstanding balancer tracks -- so aggregate
+throughput is the makespan of the resulting schedule and scales with
+replica count.
+
+Three routing policies, selectable by name:
+
+``round-robin``
+    Rotate through admitted replicas.
+``least-outstanding``
+    Route to the replica with the smallest outstanding-work horizon
+    (ties break to the lowest replica index).
+``consistent-hash``
+    SHA-256 hash ring with virtual nodes keyed by the request key --
+    stable key → replica affinity under membership change.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..crypto import sha256
+from ..errors import SimulationError
+from ..hw.cycles import CLOCK_HZ, CycleLedger
+from ..trace.tracer import NULL_TRACER
+from .attest import AttestedLink
+from .net import InterHostNetwork, decode_message, encode_message
+
+if typing.TYPE_CHECKING:
+    from .replica import ClusterReplica
+
+
+class RoutingPolicy:
+    """Strategy interface: pick a replica name for one request."""
+
+    name = "abstract"
+
+    def choose(self, request: dict, candidates: list[str],
+               outstanding: dict[str, int]) -> str:
+        """Return the chosen replica name from ``candidates``."""
+        raise NotImplementedError
+
+
+class RoundRobin(RoutingPolicy):
+    """Rotate through the admitted replica set."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, request, candidates, outstanding):
+        """Pick the next replica in rotation, ignoring load."""
+        picked = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return picked
+
+
+class LeastOutstanding(RoutingPolicy):
+    """Route to the replica with the least outstanding work."""
+
+    name = "least-outstanding"
+
+    def choose(self, request, candidates, outstanding):
+        """Pick the idlest replica (name order breaks ties)."""
+        return min(candidates, key=lambda n: (outstanding.get(n, 0), n))
+
+
+class ConsistentHash(RoutingPolicy):
+    """SHA-256 hash ring with virtual nodes, keyed by the request key."""
+
+    name = "consistent-hash"
+    VNODES = 16
+
+    def __init__(self):
+        self._ring: list[tuple[bytes, str]] = []
+        self._members: tuple[str, ...] = ()
+
+    def _rebuild(self, candidates: list[str]) -> None:
+        self._members = tuple(candidates)
+        self._ring = sorted(
+            (sha256(f"{name}#{vnode}".encode()), name)
+            for name in candidates for vnode in range(self.VNODES))
+
+    def choose(self, request, candidates, outstanding):
+        """Map the request key to its clockwise ring successor."""
+        if tuple(candidates) != self._members:
+            self._rebuild(candidates)
+        point = sha256(str(request.get("key", "")).encode())
+        for position, name in self._ring:
+            if position >= point:
+                return name
+        return self._ring[0][1]
+
+
+#: Policy registry for the CLI / benchmarks.
+POLICIES: dict[str, type[RoutingPolicy]] = {
+    RoundRobin.name: RoundRobin,
+    LeastOutstanding.name: LeastOutstanding,
+    ConsistentHash.name: ConsistentHash,
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown routing policy {name!r}; choose from "
+            f"{', '.join(sorted(POLICIES))}") from None
+
+
+class FrontEnd:
+    """Attestation-aware load balancer over the fleet fabric."""
+
+    def __init__(self, net: InterHostNetwork, *, name: str = "frontend",
+                 policy: "RoutingPolicy | str" = "least-outstanding",
+                 tracer=None):
+        self.net = net
+        self.name = name
+        self.policy = make_policy(policy) if isinstance(policy, str) \
+            else policy
+        self.tracer = tracer or NULL_TRACER
+        #: The front end is a real host: the fabric charges its ledger.
+        self.ledger = CycleLedger()
+        net.attach(name, self.ledger)
+        self._links: dict[str, AttestedLink] = {}
+        self._replicas: dict[str, "ClusterReplica"] = {}
+        #: Virtual-clock horizon (front-end ledger time) per replica.
+        self.busy_until: dict[str, int] = {}
+        self.routed: dict[str, int] = {}
+        self._epoch = self.ledger.total
+
+    # -- membership ------------------------------------------------------
+
+    def admit(self, link: AttestedLink, replica: "ClusterReplica") -> None:
+        """Add an attested replica to the routing set."""
+        self._links[link.replica] = link
+        self._replicas[link.replica] = replica
+        self.busy_until.setdefault(link.replica, self.ledger.total)
+        self.routed.setdefault(link.replica, 0)
+
+    @property
+    def members(self) -> list[str]:
+        """Admitted replica names, in index order."""
+        return sorted(self._links, key=lambda n: self._replicas[n].index)
+
+    def link(self, name: str) -> AttestedLink:
+        """The attested link for replica ``name`` (KeyError if not admitted)."""
+        return self._links[name]
+
+    def outstanding(self, name: str) -> int:
+        """Cycles of queued work on ``name`` beyond the virtual now."""
+        return max(0, self.busy_until.get(name, 0) - self.ledger.total)
+
+    # -- request path ----------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Route one closed-loop request and return the replica's reply."""
+        if not self._links:
+            raise SimulationError("no attested replicas admitted")
+        candidates = self.members
+        outstanding = {n: self.outstanding(n) for n in candidates}
+        picked = self.policy.choose(payload, candidates, outstanding)
+        link = self._links[picked]
+        replica = self._replicas[picked]
+        with self.tracer.span("cluster", "route",
+                              args={"replica": picked,
+                                    "policy": self.policy.name}):
+            sealed = link.data.send(payload)
+            before = replica.ledger.total
+            self.net.send(self.name, picked, encode_message(
+                {"kind": "request", "record_hex": sealed.hex()}))
+            replica.pump()
+            _src, wire = self.net.recv(self.name)
+            reply = decode_message(wire)
+            if reply.get("status") != "ok":
+                raise SimulationError(
+                    f"replica {picked} refused request: {reply}")
+            service_cycles = replica.ledger.total - before
+            result = link.data.receive(bytes.fromhex(reply["record_hex"]))
+        now = self.ledger.total
+        start = max(now, self.busy_until.get(picked, 0))
+        self.busy_until[picked] = start + service_cycles
+        self.routed[picked] = self.routed.get(picked, 0) + 1
+        self.tracer.metrics.count("cluster_route", picked)
+        self.tracer.metrics.observe("service_cycles", picked,
+                                    service_cycles)
+        return result
+
+    # -- schedule accounting ---------------------------------------------
+
+    def reset_schedule(self) -> None:
+        """Start a fresh makespan epoch (e.g. after warm-up requests)."""
+        self._epoch = self.ledger.total
+        for name in self.busy_until:
+            self.busy_until[name] = self._epoch
+
+    def makespan_cycles(self) -> int:
+        """Virtual-clock span from the epoch to the last completion."""
+        horizon = max(self.busy_until.values(),
+                      default=self.ledger.total)
+        return max(horizon, self.ledger.total) - self._epoch
+
+    def throughput_rps(self) -> float:
+        """Aggregate requests/second over the current epoch's schedule."""
+        cycles = self.makespan_cycles()
+        total = sum(self.routed.values())
+        if cycles == 0:
+            return 0.0
+        return total / (cycles / CLOCK_HZ)

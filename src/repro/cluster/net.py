@@ -1,0 +1,129 @@
+"""Inter-host network model for the Veil fleet.
+
+Where :mod:`repro.kernel.net` models the loopback *inside* one CVM, this
+module models the untrusted datacenter fabric *between* machines: the
+front end, every replica CVM, and the auditor are endpoints exchanging
+opaque byte messages.  The fabric is untrusted in exactly the same sense
+as the paper's host network -- it delivers, delays, observes, and (in
+attack tests) tampers with traffic; confidentiality and integrity come
+only from the attested :class:`~repro.crypto.channel.SecureChannel`
+records layered on top.
+
+Costs are cycle-calibrated and charged to *both* endpoints' ledgers, the
+way real NIC + stack work lands on both hosts: a fixed per-message
+latency (interrupt, driver, protocol processing) plus a per-byte
+bandwidth term.  Delivery is synchronous FIFO per (src, dst) ordering --
+the fleet's workloads are closed-loop, matching the intra-CVM stack.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..trace.tracer import NULL_TRACER
+
+if typing.TYPE_CHECKING:
+    from ..hw.cycles import CycleLedger
+
+
+def encode_message(payload: dict) -> bytes:
+    """Serialize a fleet control/data message deterministically."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(wire: bytes) -> dict:
+    """Inverse of :func:`encode_message`."""
+    return json.loads(wire.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class NetCostModel:
+    """Cycle costs of one inter-host message at the 3 GHz nominal clock.
+
+    Defaults model an intra-datacenter link: ~5 us one-way software +
+    fabric latency (15k cycles) and a ~25 GB/s effective NIC bandwidth
+    (0.12 cycles/byte).  Tests may zero them when timing is irrelevant.
+    """
+
+    latency_cycles: int = 15_000
+    per_byte_x1000: int = 120
+
+    def message_cost(self, nbytes: int) -> int:
+        """Cycles one endpoint pays to move ``nbytes`` over the fabric."""
+        return self.latency_cycles + (nbytes * self.per_byte_x1000) // 1000
+
+
+class HostEndpoint:
+    """One attachment point on the fabric (a machine or the front end)."""
+
+    def __init__(self, name: str, ledger: "CycleLedger"):
+        self.name = name
+        self.ledger = ledger
+        #: FIFO of (src_name, payload) awaiting :meth:`InterHostNetwork.recv`.
+        self.inbox: deque[tuple[str, bytes]] = deque()
+
+
+class InterHostNetwork:
+    """The untrusted fabric connecting fleet endpoints.
+
+    Per-link message and byte counts land in the tracer's metrics
+    registry (``net_msgs/<src>-><dst>``, ``net_bytes/<src>-><dst>``) so
+    exported traces break fleet traffic down by link.
+    """
+
+    def __init__(self, cost: NetCostModel | None = None, tracer=None):
+        self.cost = cost or NetCostModel()
+        self.tracer = tracer or NULL_TRACER
+        self._endpoints: dict[str, HostEndpoint] = {}
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def attach(self, name: str, ledger: "CycleLedger") -> HostEndpoint:
+        """Register an endpoint; its ledger pays this host's network costs."""
+        if name in self._endpoints:
+            raise SimulationError(f"endpoint {name!r} already attached")
+        endpoint = HostEndpoint(name, ledger)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> HostEndpoint:
+        """Look up an attached endpoint."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise SimulationError(
+                f"no endpoint {name!r} on the fabric") from None
+
+    def send(self, src: str, dst: str, payload: bytes) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``'s inbox.
+
+        Both endpoints are charged the transfer cost under the ``net``
+        ledger category (tx on ``src``, rx on ``dst``).
+        """
+        source = self.endpoint(src)
+        target = self.endpoint(dst)
+        cycles = self.cost.message_cost(len(payload))
+        source.ledger.charge("net", cycles)
+        target.ledger.charge("net", cycles)
+        target.inbox.append((src, payload))
+        self.messages += 1
+        self.bytes_moved += len(payload)
+        link = f"{src}->{dst}"
+        self.tracer.metrics.count("net_msgs", link)
+        self.tracer.metrics.count("net_bytes", link, len(payload))
+
+    def recv(self, dst: str) -> tuple[str, bytes]:
+        """Pop the oldest pending message for ``dst``."""
+        endpoint = self.endpoint(dst)
+        if not endpoint.inbox:
+            raise SimulationError(f"no pending message for {dst!r}")
+        return endpoint.inbox.popleft()
+
+    def pending(self, dst: str) -> int:
+        """Messages waiting in ``dst``'s inbox."""
+        return len(self.endpoint(dst).inbox)

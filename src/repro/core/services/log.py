@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import typing
 
+from ...crypto.hashes import MeasurementChain
 from ...errors import SecurityViolation
 from ...hw.memory import PAGE_SIZE, page_base
 from ...kernel.audit import AuditEntry, AuditSink
@@ -43,6 +44,11 @@ class VeilSLog(ProtectedService):
         #: (offset, length) index of appended records.
         self._index: list[tuple[int, int]] = []
         self.dropped = 0
+        #: Running MAC chain over every appended record.  Kept in DomSER
+        #: memory, exported inside the sealed channel record, so a remote
+        #: auditor can detect any dropped/reordered/rewritten entry even
+        #: if the relaying OS replays stale export pages.
+        self.chain = MeasurementChain()
 
     def handlers(self) -> dict:
         """DomSER request-dispatch table for this service."""
@@ -90,6 +96,7 @@ class VeilSLog(ProtectedService):
         self.charge(APPEND_SERVICE_CYCLES)
         self._write_storage(core, self.write_offset,
                             len(blob).to_bytes(_LEN, "little") + blob)
+        self.chain.extend("log", blob)
         self._index.append((self.write_offset + _LEN, len(blob)))
         self.write_offset += framed_len
         self.request_count += 1
@@ -124,7 +131,8 @@ class VeilSLog(ProtectedService):
         receiving an opaque sealed blob it can relay but not read.
         """
         records = [blob.decode("utf-8") for blob in self.retrieve_all(core)]
-        return self.veilmon.channel_send({"logs": records})
+        return self.veilmon.channel_send({"logs": records,
+                                          "chain_hex": self.chain.hexdigest})
 
     #: Records per export chunk (each sealed chunk must fit the IDCB).
     EXPORT_CHUNK = 20
@@ -145,7 +153,8 @@ class VeilSLog(ProtectedService):
                    for off, length in window]
         wire = self.veilmon.channel_send({
             "logs": records, "start": start,
-            "total": len(self._index)})
+            "total": len(self._index),
+            "chain_hex": self.chain.hexdigest})
         next_start = start + len(window)
         return {"status": "ok", "record_hex": wire.hex(),
                 "next": next_start if next_start < len(self._index)
@@ -171,6 +180,7 @@ class VeilSLog(ProtectedService):
                 "only the remote user may clear protected logs")
         self.write_offset = 0
         self._index.clear()
+        self.chain = MeasurementChain()
 
 
 class VeilLogSink(AuditSink):

@@ -61,10 +61,16 @@ class Socket:
         self.endpoint: Endpoint | None = None
         self.peer: "Socket | None" = None
 
+    def _require_stream(self, op: str) -> None:
+        """Datagram sockets are uniformly unsupported (EOPNOTSUPP)."""
+        if self.stype != SOCK_STREAM:
+            raise KernelError(EOPNOTSUPP, f"{op} on SOCK_DGRAM socket")
+
     # -- data path -------------------------------------------------------
 
     def send(self, data: bytes) -> int:
         """Queue bytes on the peer's receive buffer."""
+        self._require_stream("send")
         if self.state != SocketState.CONNECTED or self.peer is None:
             raise KernelError(ENOTCONN, "send on unconnected socket")
         assert self.peer.endpoint is not None
@@ -73,6 +79,9 @@ class Socket:
 
     def recv(self, count: int) -> bytes:
         """Drain up to ``count`` received bytes."""
+        self._require_stream("recv")
+        if self.state == SocketState.CLOSED:
+            raise KernelError(ENOTCONN, "recv on closed socket")
         if self.endpoint is None:
             raise KernelError(ENOTCONN, "recv on unconnected socket")
         data = bytes(self.endpoint.rx[:count])
@@ -99,6 +108,7 @@ class NetworkStack:
 
     def bind(self, sock: Socket, addr: str, port: int) -> None:
         """Reserve (addr, port) for a socket."""
+        sock._require_stream("bind")
         if sock.state not in (SocketState.NEW,):
             raise KernelError(EINVAL, "bind on used socket")
         if (addr, port) in self._bound:
@@ -109,6 +119,7 @@ class NetworkStack:
 
     def listen(self, sock: Socket, backlog: int) -> None:
         """Start accepting on a bound socket."""
+        sock._require_stream("listen")
         if sock.state != SocketState.BOUND or sock.addr is None:
             raise KernelError(EINVAL, "listen on unbound socket")
         sock.state = SocketState.LISTENING
@@ -117,6 +128,10 @@ class NetworkStack:
 
     def connect(self, sock: Socket, addr: str, port: int) -> None:
         """Queue a connection on a listener's backlog."""
+        sock._require_stream("connect")
+        if sock.state not in (SocketState.NEW, SocketState.BOUND):
+            raise KernelError(EINVAL,
+                              f"connect on {sock.state.value} socket")
         listener = self._listeners.get((addr, port))
         if listener is None or listener.state != SocketState.LISTENING:
             raise KernelError(ECONNREFUSED, f"{addr}:{port}")
@@ -128,6 +143,7 @@ class NetworkStack:
 
     def accept(self, listener: Socket) -> Socket:
         """Pop a pending connection."""
+        listener._require_stream("accept")
         if listener.state != SocketState.LISTENING:
             raise KernelError(EINVAL, "accept on non-listening socket")
         if not listener.backlog:
@@ -137,6 +153,8 @@ class NetworkStack:
     def socketpair(self, family: int = AF_UNIX,
                    stype: int = SOCK_STREAM) -> tuple[Socket, Socket]:
         """Create a connected pair directly."""
+        if stype != SOCK_STREAM:
+            raise KernelError(EOPNOTSUPP, "socketpair on SOCK_DGRAM")
         left = Socket(family, stype)
         right = Socket(family, stype)
         self._pair(left, right)

@@ -45,6 +45,42 @@ class TestLayering:
             rules=[LayeringRule()])
         assert findings_for(report, "layering") == []
 
+    def test_cluster_may_orchestrate_machine_layers(self, analyze):
+        report = analyze({
+            "hv/att.py": "X = 1\n",
+            "crypto/chan.py": "X = 1\n",
+            "core/mon.py": "X = 1\n",
+            "cluster/fleet.py": ("from ..hv import att\n"
+                                 "from ..crypto import chan\n"
+                                 "from ..core import mon\n")},
+            rules=[LayeringRule()])
+        assert findings_for(report, "layering") == []
+
+    def test_core_importing_cluster_is_flagged(self, analyze):
+        report = analyze({
+            "cluster/fleet.py": "X = 1\n",
+            "core/mon.py": "from ..cluster import fleet\n"},
+            rules=[LayeringRule()])
+        found = findings_for(report, "layering")
+        assert len(found) == 1
+        assert "'core' must not import 'cluster'" in found[0].message
+
+    def test_kernel_importing_cluster_is_flagged(self, analyze):
+        """A replica CVM's guest kernel must not know it is in a fleet."""
+        report = analyze({
+            "cluster/net.py": "X = 1\n",
+            "kernel/kernel.py": "from ..cluster import net\n",
+            "hv/hyp.py": "from ..cluster import net\n"},
+            rules=[LayeringRule()])
+        assert len(findings_for(report, "layering")) == 2
+
+    def test_cluster_importing_analysis_is_flagged(self, analyze):
+        report = analyze({
+            "analysis/rules.py": "X = 1\n",
+            "cluster/fleet.py": "from ..analysis import rules\n"},
+            rules=[LayeringRule()])
+        assert len(findings_for(report, "layering")) == 1
+
 
 class TestGateBypass:
     def test_private_page_store_access_outside_hw(self, analyze):

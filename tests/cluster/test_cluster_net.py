@@ -1,0 +1,84 @@
+"""Unit tests: the inter-host fabric model."""
+
+import pytest
+
+from repro.cluster import (InterHostNetwork, NetCostModel, decode_message,
+                           encode_message)
+from repro.errors import SimulationError
+from repro.hw.cycles import CycleLedger
+
+
+@pytest.fixture
+def net():
+    return InterHostNetwork()
+
+
+def attach_pair(net):
+    a, b = CycleLedger(), CycleLedger()
+    net.attach("a", a)
+    net.attach("b", b)
+    return a, b
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        payload = {"kind": "request", "record_hex": "00ff", "n": 3}
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_encoding_is_canonical(self):
+        assert encode_message({"b": 1, "a": 2}) == \
+            encode_message({"a": 2, "b": 1})
+
+
+class TestDelivery:
+    def test_fifo_per_destination(self, net):
+        attach_pair(net)
+        net.send("a", "b", b"first")
+        net.send("a", "b", b"second")
+        assert net.recv("b") == ("a", b"first")
+        assert net.recv("b") == ("a", b"second")
+
+    def test_pending_counts_inbox(self, net):
+        attach_pair(net)
+        assert net.pending("b") == 0
+        net.send("a", "b", b"x")
+        assert net.pending("b") == 1
+        net.recv("b")
+        assert net.pending("b") == 0
+
+    def test_recv_empty_inbox_raises(self, net):
+        attach_pair(net)
+        with pytest.raises(SimulationError):
+            net.recv("b")
+
+    def test_unknown_endpoint_raises(self, net):
+        attach_pair(net)
+        with pytest.raises(SimulationError):
+            net.send("a", "ghost", b"x")
+
+    def test_duplicate_attach_raises(self, net):
+        net.attach("a", CycleLedger())
+        with pytest.raises(SimulationError):
+            net.attach("a", CycleLedger())
+
+
+class TestCostAccounting:
+    def test_both_endpoints_charged(self, net):
+        a, b = attach_pair(net)
+        net.send("a", "b", b"x" * 1000)
+        expected = net.cost.message_cost(1000)
+        assert a.total == expected
+        assert b.total == expected
+        assert a.category("net") == expected
+
+    def test_cost_scales_with_bytes(self):
+        cost = NetCostModel(latency_cycles=100, per_byte_x1000=2000)
+        assert cost.message_cost(0) == 100
+        assert cost.message_cost(500) == 100 + 1000
+
+    def test_traffic_counters(self, net):
+        attach_pair(net)
+        net.send("a", "b", b"12345")
+        net.send("b", "a", b"123")
+        assert net.messages == 2
+        assert net.bytes_moved == 8

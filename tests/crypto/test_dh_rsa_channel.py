@@ -105,3 +105,59 @@ class TestSecureChannel:
     def test_bad_role_rejected(self):
         with pytest.raises(ValueError):
             SecureChannel(generate_key(), role="middlebox")
+
+
+class TestChannelHardening:
+    """Replay/reorder/truncation and cross-link key isolation."""
+
+    def test_truncated_record_rejected(self):
+        user, monitor = channel_pair(generate_key())
+        wire = user.send({"cmd": "export", "page": 3})
+        for cut in (1, 8, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(SecurityViolation):
+                monitor.receive(wire[:cut])
+
+    def test_stale_sequence_rejected_after_progress(self):
+        """An old record cannot be injected once the window moved on."""
+        user, monitor = channel_pair(generate_key())
+        stale = user.send({"n": 0})
+        monitor.receive(stale)
+        for n in range(1, 4):
+            monitor.receive(user.send({"n": n}))
+        with pytest.raises(SecurityViolation):
+            monitor.receive(stale)
+
+    def test_tampered_ciphertext_body_rejected(self):
+        user, monitor = channel_pair(generate_key())
+        wire = bytearray(user.send({"cmd": "clear_logs"}))
+        wire[len(wire) // 2] ^= 0x80     # flip a bit mid-ciphertext
+        with pytest.raises(SecurityViolation):
+            monitor.receive(bytes(wire))
+
+    def test_cross_link_key_reuse_rejected(self):
+        """A record sealed for link A is garbage on link B, both ways."""
+        key_a, key_b = generate_key(), generate_key()
+        user_a, monitor_a = channel_pair(key_a)
+        user_b, monitor_b = channel_pair(key_b)
+        wire = user_a.send({"route": "replica0"})
+        with pytest.raises(SecurityViolation):
+            monitor_b.receive(wire)
+        reply = monitor_b.send({"logs": []})
+        with pytest.raises(SecurityViolation):
+            user_a.receive(reply)
+        # The honest endpoints still work after the cross-link attempts.
+        assert monitor_a.receive(wire) == {"route": "replica0"}
+        assert user_b.receive(reply) == {"logs": []}
+
+    def test_derived_key_isolated_from_parent(self):
+        """Fleet data channels never decrypt control-channel records."""
+        from repro.cluster.attest import derive_data_key
+        key = generate_key()
+        user, monitor = channel_pair(key)
+        data_user, data_monitor = channel_pair(derive_data_key(key))
+        wire = user.send({"cmd": "control"})
+        with pytest.raises(SecurityViolation):
+            data_monitor.receive(wire)
+        assert monitor.receive(wire) == {"cmd": "control"}
+        assert data_monitor.receive(data_user.send({"op": "get"})) == \
+            {"op": "get"}

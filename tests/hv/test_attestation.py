@@ -88,3 +88,36 @@ class TestRemoteUser:
                                         report_data=sha256(genuine))
         with pytest.raises(AttestationError):
             user.channel_key_from_report(report, attacker)
+
+
+class TestVerifierPolicy:
+    """Relying-party digest and platform-key policy (fleet admission)."""
+
+    def test_one_byte_digest_flip_rejected(self, psp):
+        """Every single-byte deviation of the expected digest refuses."""
+        good = sha256(b"good-boot-image")
+        report = psp.attestation_report(requester_vmpl=0,
+                                        report_data=b"")
+        RemoteUser(good, psp.public_key).verify(report)
+        for index in (0, 15, len(good) - 1):
+            flipped = bytearray(good)
+            flipped[index] ^= 0x01
+            with pytest.raises(AttestationError):
+                RemoteUser(bytes(flipped), psp.public_key).verify(report)
+
+    def test_wrong_platform_key_rejected(self, psp):
+        """A report signed by a different PSP never verifies, even with
+        the right launch digest."""
+        from repro.crypto import generate_keypair
+        imposter = SecureProcessor(generate_keypair())
+        imposter.measure_launch(b"good-boot-image")
+        report = imposter.attestation_report(requester_vmpl=0,
+                                             report_data=b"")
+        # The relying party pinned the genuine platform key.
+        user = RemoteUser(sha256(b"good-boot-image"), psp.public_key)
+        with pytest.raises(AttestationError):
+            user.verify(report)
+        # Pinning the imposter's key would accept it -- the policy is
+        # exactly the pinned key, nothing weaker.
+        RemoteUser(sha256(b"good-boot-image"),
+                   imposter.public_key).verify(report)

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.errors import KernelError
-from repro.kernel.net import (AF_INET, AF_UNIX, NetworkStack, SOCK_STREAM,
-                              SocketState)
+from repro.kernel.net import (AF_INET, AF_UNIX, ECONNREFUSED, EINVAL,
+                              ENOTCONN, EOPNOTSUPP, NetworkStack,
+                              SOCK_DGRAM, SOCK_STREAM, SocketState)
 
 
 @pytest.fixture
@@ -112,3 +113,90 @@ class TestDataPath:
         assert right.recv(10) == b"ping"
         right.send(b"pong")
         assert left.recv(10) == b"pong"
+
+
+class TestBacklogEnforcement:
+    def test_overflow_is_econnrefused(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 2)
+        for _ in range(2):
+            net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+        with pytest.raises(KernelError) as err:
+            net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+        assert err.value.errno == ECONNREFUSED
+
+    def test_accept_drains_backlog_reopens_port(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 1)
+        net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+        net.accept(server)
+        # Draining the backlog makes room for the next connection.
+        net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
+
+
+class TestClosedSocketOps:
+    def test_send_after_close_is_enotconn(self, net):
+        client, _conn, _ = connected_pair(net)
+        client.close()
+        with pytest.raises(KernelError) as err:
+            client.send(b"x")
+        assert err.value.errno == ENOTCONN
+
+    def test_recv_after_close_is_enotconn(self, net):
+        client, conn, _ = connected_pair(net)
+        client.send(b"buffered")
+        conn.close()
+        with pytest.raises(KernelError) as err:
+            conn.recv(10)
+        assert err.value.errno == ENOTCONN
+
+    def test_connect_on_closed_socket_rejected(self, net):
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 4)
+        client = net.socket(AF_INET, SOCK_STREAM)
+        client.close()
+        with pytest.raises(KernelError) as err:
+            net.connect(client, "0.0.0.0", 80)
+        assert err.value.errno == EINVAL
+
+    def test_connect_on_connected_socket_rejected(self, net):
+        client, _conn, _server = connected_pair(net)
+        with pytest.raises(KernelError) as err:
+            net.connect(client, "127.0.0.1", 80)
+        assert err.value.errno == EINVAL
+
+    def test_close_is_idempotent(self, net):
+        client, _conn, _ = connected_pair(net)
+        client.close()
+        client.close()
+        assert client.state == SocketState.CLOSED
+
+
+class TestDatagramUnsupported:
+    def test_creation_allowed(self, net):
+        sock = net.socket(AF_INET, SOCK_DGRAM)
+        assert sock.state == SocketState.NEW
+
+    @pytest.mark.parametrize("op", ["bind", "listen", "connect",
+                                    "accept", "send", "recv"])
+    def test_every_op_is_eopnotsupp(self, net, op):
+        sock = net.socket(AF_INET, SOCK_DGRAM)
+        calls = {
+            "bind": lambda: net.bind(sock, "0.0.0.0", 53),
+            "listen": lambda: net.listen(sock, 4),
+            "connect": lambda: net.connect(sock, "0.0.0.0", 53),
+            "accept": lambda: net.accept(sock),
+            "send": lambda: sock.send(b"x"),
+            "recv": lambda: sock.recv(10),
+        }
+        with pytest.raises(KernelError) as err:
+            calls[op]()
+        assert err.value.errno == EOPNOTSUPP
+
+    def test_socketpair_is_eopnotsupp(self, net):
+        with pytest.raises(KernelError) as err:
+            net.socketpair(AF_UNIX, SOCK_DGRAM)
+        assert err.value.errno == EOPNOTSUPP

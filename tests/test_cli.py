@@ -12,8 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "lint", "trace", "export",
-                                    "ablations", "all"}
+                                    "cluster", "lint", "trace",
+                                    "export", "ablations", "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -40,6 +40,18 @@ class TestCommands:
         main(["attacks"])
         out = capsys.readouterr().out
         assert "attacks defended" in out
+
+    def test_cluster(self, capsys):
+        main(["cluster", "--replicas", "2", "--requests", "20"])
+        out = capsys.readouterr().out
+        assert "replica0" in out and "replica1" in out
+        assert "audit" in out
+
+    def test_cluster_tampered_exits_nonzero_only_on_audit(self, capsys):
+        main(["cluster", "--replicas", "2", "--requests", "10",
+              "--tampered", "1"])
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
 
     def test_lint_clean_tree(self, capsys):
         main(["lint"])

@@ -1,0 +1,33 @@
+"""veil-turbo: the software TLB must actually pay for itself.
+
+Runs the syscall-redirection microbenchmark with the cache off and on
+(two full systems, identical workload) and asserts the three veil-turbo
+guarantees together: real wall-clock speedup, a hot cache, and exact
+cycle parity.  Wall-clock thresholds are deliberately below the
+typically measured ~2x so a loaded CI machine does not flake.
+"""
+
+from repro.bench import run_turbo
+
+
+class TestTurboSpeedup:
+    def test_cached_mode_is_faster_with_identical_cycles(self):
+        result = run_turbo()
+        assert result.cycles_equal, (
+            f"cycle totals diverged: {result.cycles_uncached} uncached "
+            f"vs {result.cycles_cached} cached")
+        assert result.hit_rate > 0.90, (
+            f"translation hit rate {result.hit_rate:.1%} <= 90%")
+        assert result.rmp_hit_rate > 0.90, (
+            f"RMP verdict hit rate {result.rmp_hit_rate:.1%} <= 90%")
+        assert result.speedup >= 1.5, (
+            f"speedup {result.speedup:.2f}x below the 1.5x floor "
+            f"(uncached {result.uncached_seconds * 1e3:.1f} ms, "
+            f"cached {result.cached_seconds * 1e3:.1f} ms)")
+
+    def test_metrics_registry_reports_counters(self):
+        result = run_turbo(iters=1, sweeps=4, repeats=1)
+        metrics = result.metrics()
+        counters = metrics.counters_named("tlb")
+        assert counters["hits"] == result.tlb_stats["hits"]
+        assert counters["hits"] > 0

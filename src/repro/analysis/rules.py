@@ -514,9 +514,123 @@ class TraceSpanRule(Rule):
         return False
 
 
+# ---------------------------------------------------------------------------
+# Rule 7: RMP / page-table mutation -> generation bump
+# ---------------------------------------------------------------------------
+
+#: Classes owning generation-guarded hardware state.  The per-VCPU
+#: software TLB (``repro.hw.tlb``) caches verdicts derived from their
+#: state and relies on the generation counter for invalidation.
+_GENERATION_CLASSES = frozenset({"Rmp", "GuestPageTable"})
+
+#: Entry/PTE fields whose mutation changes an access verdict.
+_GUARDED_FIELDS = frozenset({"assigned", "validated", "vmsa", "shared",
+                             "perms", "present", "writable", "user", "nx"})
+
+#: State containers whose contents feed cached verdicts.
+_GUARDED_CONTAINERS = frozenset({"_entries", "_windows", "_default"})
+
+#: Container method names that mutate in place.
+_MUTATING_CALLS = frozenset({"append", "extend", "insert", "clear", "pop",
+                             "popitem", "remove", "setdefault", "update"})
+
+
+class RmpMutationGenerationRule(Rule):
+    """RMP/page-table mutators must bump their generation counter.
+
+    The software TLB caches translation and RMP-permission verdicts and
+    invalidates them by comparing generation counters; a mutator that
+    forgets to bump silently serves stale verdicts -- the exact failure
+    mode the SNP formal-analysis papers rule out for real hardware
+    (RMPADJUST is visible on the next access).  Flags any method of
+    ``Rmp`` / ``GuestPageTable`` (inside ``repro.hw``) that writes a
+    guarded field or container without a ``self.generation`` bump in the
+    same method.  Deliberate exceptions (e.g. ``clone`` filling a fresh
+    table) carry justified suppressions.
+    """
+
+    name = "rmp-mutation-generation"
+    description = ("Rmp/GuestPageTable methods mutating permission or "
+                   "mapping state must bump self.generation")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None or not index.in_subpackage(module, "hw"):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and \
+                        node.name in _GENERATION_CLASSES:
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue          # construction precedes any caching
+            mutations = list(self._mutations(item))
+            if not mutations or self._bumps_generation(item):
+                continue
+            for line, what in mutations:
+                yield self.finding(
+                    module, line,
+                    f"{cls.name}.{item.name} mutates {what} without "
+                    "bumping self.generation: cached TLB/RMP verdicts "
+                    "would go stale")
+
+    @classmethod
+    def _mutations(cls, fn: ast.AST) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(fn):
+            targets: Iterable[ast.expr] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATING_CALLS and \
+                    isinstance(node.func.value, ast.Attribute) and \
+                    node.func.value.attr in _GUARDED_CONTAINERS:
+                yield (node.lineno,
+                       f".{node.func.value.attr}.{node.func.attr}()")
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        target.attr in _GUARDED_FIELDS | \
+                        _GUARDED_CONTAINERS:
+                    if target.attr == "generation":
+                        continue
+                    yield target.lineno, f"field .{target.attr}"
+                elif isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Attribute) and \
+                        target.value.attr in _GUARDED_CONTAINERS | \
+                        frozenset({"perms"}):
+                    yield target.lineno, f"container .{target.value.attr}"
+
+    @staticmethod
+    def _bumps_generation(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.target, ast.Attribute) and \
+                    node.target.attr == "generation":
+                return True
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Attribute) and
+                    t.attr == "generation" for t in node.targets):
+                return True
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("bump_generation",
+                                       "_bump_generation"):
+                return True
+        return False
+
+
 ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(), GateBypassRule(), AuditCompletenessRule(),
     ExceptionHygieneRule(), VmplLiteralRule(), TraceSpanRule(),
+    RmpMutationGenerationRule(),
 )
 
 

@@ -13,6 +13,8 @@ Commands map one-to-one onto the paper's experiments:
 ``ltp``        LTP-style SDK conformance summary
 ``lint``       veil-lint trust-boundary static analysis of the tree
 ``trace``      run a workload under veil-trace, export a Perfetto trace
+``turbo``      software-TLB speedup microbenchmark (veil-turbo)
+``profile``    cProfile a trace workload and print the hotspots
 ``cluster``    boot a veil-fleet: N attested replicas behind a front end
 ``all``        everything above (the full evaluation)
 =============  ========================================================
@@ -137,14 +139,50 @@ def _cmd_lint(args) -> None:
 
 def _cmd_trace(args) -> None:
     from .trace import Tracer, render_summary, write_chrome_trace
-    from .workloads.trace_demo import run_trace_workload
+    from .workloads.trace_demo import run_trace_workload_system
     tracer = Tracer(capacity=args.capacity)
-    run_trace_workload(args.workload, tracer=tracer)
-    print(render_summary(tracer, top=args.top))
+    _tracer, system = run_trace_workload_system(args.workload,
+                                               tracer=tracer)
+    # Export before publishing the TLB counters: the Chrome trace embeds
+    # the metrics registry, and exported traces must stay byte-identical
+    # whether the software TLB is on or off (a tested invariant).  The
+    # text summary below then gets the counters.
     if args.out:
         write_chrome_trace(tracer, args.out)
+    system.machine.publish_tlb_metrics(tracer.metrics)
+    print(render_summary(tracer, top=args.top))
+    if args.out:
         print(f"\nwrote {tracer.recorded - tracer.dropped} events to "
               f"{args.out} (load in Perfetto / chrome://tracing)")
+
+
+def _cmd_turbo(args) -> None:
+    from .bench.turbo import render_turbo, run_turbo, write_turbo_json
+    result = run_turbo(iters=args.iterations, sweeps=args.sweeps,
+                       repeats=args.repeats)
+    print(render_turbo(result))
+    if args.json:
+        write_turbo_json(result, args.json)
+        print(f"wrote {args.json}")
+    if not result.cycles_equal:
+        print("FAIL: cycle totals differ between VEIL_TLB modes")
+        sys.exit(1)
+    if args.min_speedup and result.speedup < args.min_speedup:
+        print(f"FAIL: speedup {result.speedup:.2f}x is below the "
+              f"--min-speedup floor {args.min_speedup:.2f}x")
+        sys.exit(1)
+
+
+def _cmd_profile(args) -> None:
+    import cProfile
+    import pstats
+    from .workloads.trace_demo import run_trace_workload_system
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_trace_workload_system(args.workload)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
 
 
 def _cmd_cluster(args) -> None:
@@ -276,6 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top", type=int, default=10,
                        help="span kinds to show in the summary table")
     trace.set_defaults(fn=_cmd_trace)
+
+    turbo = sub.add_parser(
+        "turbo", help="software-TLB speedup microbenchmark")
+    turbo.add_argument("--iterations", type=int, default=4,
+                       help="syscall-redirection iterations")
+    turbo.add_argument("--sweeps", type=int, default=300,
+                       help="buffer peek sweeps per iteration")
+    turbo.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per mode (best is reported)")
+    turbo.add_argument("--json", default=None,
+                       help="write a BENCH_turbo.json artifact")
+    turbo.add_argument("--min-speedup", type=float, default=0.0,
+                       help="exit non-zero if speedup falls below this")
+    turbo.set_defaults(fn=_cmd_turbo)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a trace workload, print hotspots")
+    profile.add_argument("workload", choices=sorted(TRACE_WORKLOADS),
+                         help="which demo workload to profile")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"),
+                         help="pstats sort order")
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of hotspot rows to print")
+    profile.set_defaults(fn=_cmd_profile)
 
     cluster = sub.add_parser(
         "cluster", help="boot an attested multi-CVM fleet")

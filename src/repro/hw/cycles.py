@@ -104,6 +104,35 @@ def free_cost_model() -> CostModel:
     return CostModel(**zeroed)
 
 
+class ChargeHandle:
+    """Pre-resolved charge target for one ledger category.
+
+    The VCPU access path charges the same two categories
+    (``page_table_walk``, ``copy``) on every guest memory access; going
+    through :meth:`CycleLedger.charge` costs a string-keyed dict probe and
+    a sign check per call.  A handle binds the ledger and its category
+    bucket once so the per-access cost is two integer adds.  Handles
+    survive :meth:`CycleLedger.reset` because the ledger clears its
+    category counter in place rather than replacing it.
+
+    Callers own the non-negativity of their costs: handles skip the
+    negative-charge guard, so they are only handed to trusted simulator
+    paths whose costs come from a :class:`CostModel`.
+    """
+
+    __slots__ = ("_ledger", "_bucket", "_category")
+
+    def __init__(self, ledger: "CycleLedger", category: str):
+        self._ledger = ledger
+        self._bucket = ledger.by_category
+        self._category = category
+
+    def charge(self, cycles: int) -> None:
+        """Add ``cycles`` (assumed non-negative) to the bound category."""
+        self._ledger.total += cycles
+        self._bucket[self._category] += cycles
+
+
 @dataclass
 class CycleLedger:
     """Accumulates cycles, bucketed by category.
@@ -123,6 +152,10 @@ class CycleLedger:
         self.total += cycles
         self.by_category[category] += cycles
 
+    def handle(self, category: str) -> ChargeHandle:
+        """A :class:`ChargeHandle` bound to ``category`` on this ledger."""
+        return ChargeHandle(self, category)
+
     def category(self, name: str) -> int:
         """Total charged under one category."""
         return self.by_category.get(name, 0)
@@ -141,7 +174,11 @@ class CycleLedger:
         return LedgerSnapshot(self.total - snap.total, delta)
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter.
+
+        Clears the category counter in place (never replaces it) so
+        outstanding :class:`ChargeHandle` objects stay valid.
+        """
         self.total = 0
         self.by_category.clear()
 

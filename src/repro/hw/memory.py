@@ -77,6 +77,18 @@ class PhysicalMemory:
         """Read ``length`` raw bytes; charges copy cost to the ledger."""
         self._check_range(addr, length)
         self.ledger.charge("copy", self.cost.copy_cost(length))
+        if length == 0:
+            return b""
+        off = addr & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            # Intra-page fast path: one zero-copy slice off the backing
+            # page (reads never materialize pages -- a fresh page is zeros
+            # either way).
+            buf = self._pages.get(addr >> PAGE_SHIFT)
+            if buf is None:
+                self._check_ppn(addr >> PAGE_SHIFT)
+                return bytes(length)
+            return bytes(memoryview(buf)[off:off + length])
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -92,6 +104,12 @@ class PhysicalMemory:
         """Write raw bytes; charges copy cost to the ledger."""
         self._check_range(addr, len(data))
         self.ledger.charge("copy", self.cost.copy_cost(len(data)))
+        if not data:
+            return
+        off = addr & (PAGE_SIZE - 1)
+        if off + len(data) <= PAGE_SIZE:
+            self.page(addr >> PAGE_SHIFT)[off:off + len(data)] = data
+            return
         pos = 0
         while pos < len(data):
             cur = addr + pos
@@ -100,6 +118,32 @@ class PhysicalMemory:
             chunk = min(len(data) - pos, PAGE_SIZE - off)
             self.page(ppn)[off:off + chunk] = data[pos:pos + chunk]
             pos += chunk
+
+    # -- page-granular raw access (VCPU fast path) ----------------------------
+
+    def page_bytes(self, ppn: int, offset: int, length: int) -> bytes:
+        """Uncharged intra-page read: ``length`` bytes at ``offset`` in
+        page ``ppn``.
+
+        Used by the VCPU access path, which translates and charges per
+        spanned virtual page itself.  The caller guarantees
+        ``offset + length <= PAGE_SIZE``.
+        """
+        buf = self._pages.get(ppn)
+        if buf is None:
+            self._check_ppn(ppn)
+            return bytes(length)
+        return bytes(memoryview(buf)[offset:offset + length])
+
+    def page_write(self, ppn: int, offset: int, data: bytes) -> None:
+        """Uncharged intra-page write (VCPU fast-path counterpart of
+        :meth:`page_bytes`); materializes the page if fresh."""
+        buf = self._pages.get(ppn)
+        if buf is None:
+            self._check_ppn(ppn)
+            buf = bytearray(PAGE_SIZE)
+            self._pages[ppn] = buf
+        buf[offset:offset + len(data)] = data
 
     # -- helpers --------------------------------------------------------------
 

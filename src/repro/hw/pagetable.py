@@ -78,6 +78,12 @@ class GuestPageTable:
         self.root_ppn = root_ppn
         self._entries: dict[int, Pte] = {}
         self._windows: list[LinearWindow] = []
+        #: Monotonic mutation counter.  Every structural change to the
+        #: mapping bumps it; the per-VCPU software TLB
+        #: (:mod:`repro.hw.tlb`) compares it against the generation it
+        #: cached under and discards stale translations.  veil-lint's
+        #: ``rmp-mutation-generation`` rule enforces that mutators bump.
+        self.generation = 0
         self.cost = cost or CostModel()
         self.ledger = ledger or CycleLedger()
 
@@ -87,16 +93,19 @@ class GuestPageTable:
             user: bool = False, nx: bool = True) -> None:
         """Install an explicit translation for ``vpn``."""
         self._entries[vpn] = Pte(ppn, True, writable, user, nx)
+        self.generation += 1
 
     def add_window(self, window: LinearWindow) -> None:
         """Attach a compact contiguous mapping."""
         self._windows.append(window)
+        self.generation += 1
 
     def unmap(self, vpn: int) -> None:
         """Remove a translation (overrides any window)."""
         if self._lookup(vpn) is not None:
             # An explicit non-present entry overrides any window.
             self._entries[vpn] = Pte(0, present=False)
+        self.generation += 1
         self.ledger.charge("tlb_flush", self.cost.tlb_flush)
 
     def protect(self, vpn: int, *, writable: bool | None = None,
@@ -116,6 +125,7 @@ class GuestPageTable:
             pte.user = user
         if nx is not None:
             pte.nx = nx
+        self.generation += 1
         self.ledger.charge("tlb_flush", self.cost.tlb_flush)
 
     def entry(self, vpn: int) -> Pte | None:
@@ -149,7 +159,9 @@ class GuestPageTable:
         an enclave's table into protected memory)."""
         new = GuestPageTable(root_ppn, cost=self.cost, ledger=self.ledger)
         for vpn, pte in self._entries.items():
+            # veil-lint: allow(rmp-mutation-generation) -- fills a fresh table: nothing can have cached under the new root yet
             new._entries[vpn] = pte.copy()
+        # veil-lint: allow(rmp-mutation-generation) -- same fresh-table argument as above
         new._windows = list(self._windows)
         return new
 

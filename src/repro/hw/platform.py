@@ -8,6 +8,7 @@ violations occur.
 
 from __future__ import annotations
 
+import os
 import typing
 
 from ..errors import CvmHalted, SimulationError
@@ -69,8 +70,15 @@ class SevSnpMachine:
 
     def __init__(self, *, memory_bytes: int = 64 * 1024 * 1024,
                  num_cores: int = 4, cost: CostModel | None = None,
-                 tracer=None):
+                 tracer=None, tlb_enabled: bool | None = None):
         self.cost = cost or CostModel()
+        # veil-turbo: per-core software TLB + RMP permission cache.  On by
+        # default; ``VEIL_TLB=0`` in the environment (or an explicit
+        # ``tlb_enabled=False``) disables it.  Semantics-preserving either
+        # way: cycle totals and traces are byte-identical across modes.
+        if tlb_enabled is None:
+            tlb_enabled = os.environ.get("VEIL_TLB", "1") != "0"
+        self.tlb_enabled = bool(tlb_enabled)
         self.ledger = CycleLedger()
         # Observability: an explicit tracer wins, then the process-wide
         # default (benchmark fixture), then the no-op tracer.  Tracing
@@ -83,8 +91,15 @@ class SevSnpMachine:
         self.rmp = Rmp(self.memory.num_pages, cost=self.cost,
                        ledger=self.ledger, tracer=self.tracer)
         self.frames = FrameAllocator(self.memory.num_pages)
-        self.cores = [VirtualCpu(self, i) for i in range(num_cores)]
+        # Tables registry must exist before cores: each VCPU's TLB fast
+        # path binds to it at construction.
         self._page_tables: dict[int, GuestPageTable] = {}
+        #: Bumped whenever the registry itself changes (a table created or
+        #: re-registered).  The VCPU fast path caches its current-root view
+        #: under this version so a *different* table appearing under a
+        #: reused root can never serve stale translations.
+        self._pt_version = 0
+        self.cores = [VirtualCpu(self, i) for i in range(num_cores)]
         self.hypervisor: "Hypervisor | None" = None
         self.halted = False
         self.halt_reason: str | None = None
@@ -103,11 +118,13 @@ class SevSnpMachine:
         root = self.frames.alloc("page-table-root")
         table = GuestPageTable(root, cost=self.cost, ledger=self.ledger)
         self._page_tables[root] = table
+        self._pt_version += 1
         return table
 
     def register_page_table(self, table: GuestPageTable) -> None:
         """Track an externally built table by its root."""
         self._page_tables[table.root_ppn] = table
+        self._pt_version += 1
 
     def page_table_for_root(self, root_ppn: int) -> GuestPageTable:
         """The table rooted at ``root_ppn``."""
@@ -138,6 +155,32 @@ class SevSnpMachine:
     def core(self, index: int) -> VirtualCpu:
         """Physical core ``index``."""
         return self.cores[index]
+
+    def tlb_stats(self) -> dict[str, int]:
+        """Aggregate software-TLB counters over every core.
+
+        Keys match :class:`repro.hw.tlb.TlbStats` (``hits``, ``misses``,
+        ``rmp_hits``, ``rmp_misses``, ``flushes``, ...); all zero when
+        the cache is disabled.
+        """
+        totals: dict[str, int] = {}
+        for core in self.cores:
+            for name, value in core.tlb.stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def publish_tlb_metrics(self, metrics=None) -> None:
+        """Fold TLB counters into a metrics registry under ``tlb/...``.
+
+        Defaults to this machine's tracer registry.  Call *after* any
+        Chrome-trace export: the exported file embeds the metrics dump,
+        and the determinism contract requires exports to be
+        byte-identical with the cache on or off.
+        """
+        if metrics is None:
+            metrics = self.tracer.metrics
+        for core in self.cores:
+            core.tlb.publish(metrics)
 
     def describe(self) -> str:
         """One-line human summary of the machine."""

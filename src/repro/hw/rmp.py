@@ -26,7 +26,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..errors import InvalidInstruction, NestedPageFault
-from ..trace import NULL_TRACER
+from ..trace import NULL_SPAN, NULL_TRACER
 from .cycles import CostModel, CycleLedger
 
 NUM_VMPLS = 4
@@ -95,6 +95,13 @@ class Rmp:
     def __init__(self, num_pages: int, *, cost: CostModel | None = None,
                  ledger: CycleLedger | None = None, tracer=None):
         self.num_pages = num_pages
+        #: Monotonic mutation counter covering the whole table.  Every
+        #: operation that can change an entry's state -- including
+        #: :meth:`entry`, which hands out a mutable reference -- bumps it;
+        #: the per-VCPU software TLB (:mod:`repro.hw.tlb`) discards its
+        #: cached allow-verdicts whenever the generation moved.  veil-lint's
+        #: ``rmp-mutation-generation`` rule enforces that mutators bump.
+        self.generation = 0
         self._entries: dict[int, RmpEntry] = {}
         #: Template for pages without an explicit entry.  Bulk operations
         #: (the boot sweep) update this template instead of materializing
@@ -115,6 +122,9 @@ class Rmp:
                            vmsa=False, shared=self._default.shared,
                            perms=list(self._default.perms))
             self._entries[ppn] = ent
+        # Pessimistic: the caller receives a *mutable* entry, so any cached
+        # verdict may be about to go stale (tests poke perms directly).
+        self.generation += 1
         return ent
 
     def peek(self, ppn: int) -> RmpEntry:
@@ -140,9 +150,12 @@ class Rmp:
             raise InvalidInstruction(
                 f"RMPADJUST from VMPL-{executing_vmpl} may not modify "
                 f"VMPL-{target_vmpl} permissions")
-        with self.tracer.span("hw", "RMPADJUST_SWEEP", vmpl=executing_vmpl,
-                              args={"pages": count,
-                                    "target_vmpl": target_vmpl}):
+        tracer = self.tracer
+        span = tracer.span("hw", "RMPADJUST_SWEEP", vmpl=executing_vmpl,
+                           args={"pages": count,
+                                 "target_vmpl": target_vmpl}) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             self.ledger.charge("rmpadjust", self.cost.rmpadjust * count)
             # Excluded pages keep their current (typically restricted)
             # state; materialize them so the default change below cannot
@@ -154,11 +167,14 @@ class Rmp:
                 if ppn not in exclude and ent.assigned and not ent.vmsa \
                         and not ent.shared:
                     ent.perms[target_vmpl] = perms
+            self.generation += 1
 
     def bulk_assign_validate(self, count: int) -> None:
         """Assign + PVALIDATE every page (launch-time acceptance sweep)."""
-        with self.tracer.span("hw", "PVALIDATE_SWEEP",
-                              args={"pages": count}):
+        tracer = self.tracer
+        span = tracer.span("hw", "PVALIDATE_SWEEP", args={"pages": count}) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             self.ledger.charge("pvalidate", self.cost.pvalidate * count)
             self._default.assigned = True
             self._default.validated = True
@@ -166,6 +182,7 @@ class Rmp:
                 if not ent.shared:
                     ent.assigned = True
                     ent.validated = True
+            self.generation += 1
 
     # -- instruction-level operations -----------------------------------------
 
@@ -194,12 +211,15 @@ class Rmp:
             raise NestedPageFault(
                 f"RMPADJUST on unassigned page {ppn:#x}", gpa=ppn << 12,
                 vmpl=executing_vmpl, access="rmpadjust")
-        with self.tracer.span("hw", "RMPADJUST", vmpl=executing_vmpl,
-                              args={"ppn": ppn,
-                                    "target_vmpl": target_vmpl}):
+        tracer = self.tracer
+        span = tracer.span("hw", "RMPADJUST", vmpl=executing_vmpl,
+                           args={"ppn": ppn, "target_vmpl": target_vmpl}) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             self.ledger.charge("rmpadjust", self.cost.rmpadjust)
             ent.perms[target_vmpl] = perms
             ent.vmsa = vmsa
+            self.generation += 1
 
     def pvalidate(self, *, executing_vmpl: int, ppn: int,
                   validate: bool) -> None:
@@ -212,14 +232,18 @@ class Rmp:
         """
         self._check_vmpl(executing_vmpl)
         ent = self.entry(ppn)
-        with self.tracer.span("hw", "PVALIDATE", vmpl=executing_vmpl,
-                              args={"ppn": ppn, "validate": validate}):
+        tracer = self.tracer
+        span = tracer.span("hw", "PVALIDATE", vmpl=executing_vmpl,
+                           args={"ppn": ppn, "validate": validate}) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             self.ledger.charge("pvalidate", self.cost.pvalidate)
             if validate and not ent.assigned:
                 raise NestedPageFault(
                     f"PVALIDATE on page {ppn:#x} not assigned to the guest",
                     gpa=ppn << 12, vmpl=executing_vmpl, access="pvalidate")
             ent.validated = validate
+            self.generation += 1
 
     # -- hypervisor-side state transitions ------------------------------------
 
@@ -229,6 +253,7 @@ class Rmp:
         ent.assigned = True
         ent.validated = False
         ent.shared = False
+        self.generation += 1
 
     def unassign(self, ppn: int) -> None:
         """Hypervisor reclaims page ``ppn`` (guest must have shared it)."""
@@ -238,6 +263,7 @@ class Rmp:
         ent.vmsa = False
         ent.shared = False
         ent.perms = _default_perms()
+        self.generation += 1
 
     def install_vmsa(self, ppn: int) -> None:
         """Mark page ``ppn`` as a sealed, guest-owned VMSA page.
@@ -253,6 +279,7 @@ class Rmp:
         ent.assigned = True
         ent.validated = True
         ent.vmsa = True
+        self.generation += 1
 
     def share(self, ppn: int) -> None:
         """Mark page ``ppn`` as a shared (unencrypted) page.
@@ -267,6 +294,7 @@ class Rmp:
         ent.vmsa = False
         ent.shared = True
         ent.perms = _default_perms()
+        self.generation += 1
 
     # -- access checking --------------------------------------------------------
 

@@ -25,9 +25,22 @@ import typing
 
 from ..errors import (CvmHalted, GeneralProtectionFault, NestedPageFault,
                       SimulationError)
+from ..trace import NULL_SPAN
 from .ghcb import Ghcb
+from .memory import PAGE_SHIFT, PAGE_SIZE, pages_spanned
+from .pagetable import PageFault
 from .rmp import Access
+from .tlb import SoftTlb
 from .vmsa import RegisterFile, Vmsa
+
+_OFFSET_MASK = PAGE_SIZE - 1
+
+# Pre-resolved access bits for the packed RMP-verdict cache keys
+# ``(ppn << 6) | (vmpl << 4) | access_bits`` (see repro.hw.tlb).
+_READ_BIT = Access.READ.value
+_WRITE_BIT = Access.WRITE.value
+_UEXEC_BIT = Access.UEXEC.value
+_SEXEC_BIT = Access.SEXEC.value
 
 if typing.TYPE_CHECKING:
     from .platform import SevSnpMachine
@@ -41,6 +54,15 @@ class VirtualCpu:
         self.cpu_index = cpu_index
         self.instance: Vmsa | None = None
         self.regs: RegisterFile = RegisterFile()
+        #: Per-core software TLB + RMP permission cache (veil-turbo).
+        self.tlb = SoftTlb(machine.tlb_enabled)
+        # Pre-resolved ledger handles and costs for the access fast path.
+        # Handles charge exactly what CycleLedger.charge would, so cycle
+        # totals are independent of the cache being on or off.
+        self._h_walk = machine.ledger.handle("page_table_walk")
+        self._h_copy = machine.ledger.handle("copy")
+        self._walk_cost = machine.cost.page_table_walk
+        self._copy_x1000 = machine.cost.copy_per_byte_x1000
         #: Number of world switches taken by this core (telemetry).
         self.exit_count = 0
         #: Coarse model of per-core microarchitectural state (cache/TLB
@@ -80,6 +102,9 @@ class VirtualCpu:
                 "is still live")
         self.instance = vmsa
         self.regs = vmsa.restore()
+        # World switch: architectural TLB flush (paper's domain-switch
+        # cost model already charges the switch; the flush is free).
+        self.flush_tlb()
         self.machine.tracer.instant(
             "hw", "VMENTER", vcpu=self.cpu_index, vmpl=vmsa.vmpl,
             args={"vcpu_id": vmsa.vcpu_id})
@@ -89,51 +114,548 @@ class VirtualCpu:
         if self.instance is None:
             raise SimulationError("exit without a running instance")
         self.exit_count += 1
+        self.flush_tlb()
         self.instance.save(self.regs)
         return self.instance
+
+    def flush_tlb(self) -> None:
+        """Architectural TLB flush for this core (translations + cached
+        RMP verdicts).
+
+        Called on world switches, on ``WBINVD``, and at explicit CR3
+        loads outside the PCID-tagged syscall path (scheduler context
+        switch, domain-switch gateway, kernel address-space install).
+        Charges nothing: modeled flush costs are charged where the
+        architecture charges them (``unmap``/``protect``/``wbinvd``).
+        """
+        if self.tlb.enabled:
+            self.tlb.flush()
 
     # -- memory access ------------------------------------------------------
 
     def _translate(self, vaddr: int, *, write: bool, execute: bool) -> int:
+        """Uncached full-address translation (kept for callers that want a
+        physical address; the checked access paths below translate per
+        virtual page)."""
         table = self.machine.page_table_for_root(self.regs.cr3)
         return table.translate(vaddr, write=write, execute=execute,
                                cpl=self.regs.cpl)
 
-    def _rmp_check(self, paddr: int, length: int, access: Access) -> None:
-        """RMP permission check; a violation is fail-stop for the CVM.
+    def _translate_vpn(self, vpn: int, write: bool, execute: bool) -> int:
+        """Translate one virtual page, enforcing CPL policy; returns the
+        physical page number.
+
+        With the software TLB enabled this is the cached walk.  It is
+        cycle-for-cycle identical to the uncached
+        :meth:`~repro.hw.pagetable.GuestPageTable.translate`: the same
+        walk cost is charged before any fault can raise, CPL policy is
+        re-evaluated per access from the cached flags, the same
+        :class:`PageFault` kinds are raised in the same order, and failed
+        lookups are never cached.
+        """
+        machine = self.machine
+        tlb = self.tlb
+        if not tlb.enabled:
+            paddr = machine.page_table_for_root(self.regs.cr3).translate(
+                vpn << PAGE_SHIFT, write=write, execute=execute,
+                cpl=self.regs.cpl)
+            return paddr >> PAGE_SHIFT
+        root = self.regs.cr3
+        table = machine._page_tables.get(root)
+        if table is None:
+            raise SimulationError(f"no page table rooted at {root:#x}")
+        view = tlb.views.get(root)
+        if (view is None or view.table is not table
+                or view.generation != table.generation):
+            view = tlb.view_for(root, table)
+        pte = view.entries.get(vpn)
+        if pte is None:
+            tlb.stats.misses += 1
+            pte = table.entry(vpn)
+            if pte is not None:
+                view.entries[vpn] = pte
+        else:
+            tlb.stats.hits += 1
+        # Same walk charge as the uncached translate, hit or miss, so
+        # cycle totals are independent of the cache.
+        self._h_walk.charge(self._walk_cost)
+        if pte is None:
+            raise PageFault(vpn, "write" if write else
+                            "execute" if execute else "read")
+        if write and not pte.writable:
+            raise PageFault(vpn, "write-protected")
+        if self.regs.cpl == 3 and not pte.user:
+            raise PageFault(vpn, "supervisor-only")
+        if execute and pte.nx:
+            raise PageFault(vpn, "nx")
+        return pte.ppn
+
+    def _rmp_check_page(self, ppn: int, access: Access) -> None:
+        """RMP check for one page; a violation is fail-stop for the CVM.
 
         Unlike a CPL page fault (which the OS can resolve), a guest-side
         RMP violation re-faults forever -- the paper's observable defence
-        is "the CVM halts with continuous #NPFs"."""
-        from .memory import pages_spanned
+        is "the CVM halts with continuous #NPFs".  Only *allow* verdicts
+        are cached (:meth:`~repro.hw.rmp.Rmp.check_access` charges no
+        cycles, so caching it is ledger-neutral); the cache is dropped
+        whenever the RMP generation moved.
+        """
+        machine = self.machine
+        vmpl = self.vmpl
+        tlb = self.tlb
+        if tlb.enabled:
+            rmp = machine.rmp
+            if tlb.rmp_generation != rmp.generation:
+                tlb.invalidate_rmp(rmp.generation)
+            key = (ppn << 6) | (vmpl << 4) | access.value
+            if key in tlb.rmp_allow:
+                tlb.stats.rmp_hits += 1
+                return
+            self._rmp_fill(ppn, vmpl, access, key)
+            return
+        try:
+            machine.rmp.check_access(ppn=ppn, vmpl=vmpl, access=access)
+        except NestedPageFault as fault:
+            machine.tracer.instant(
+                "hw", "NPF", vcpu=self.cpu_index, vmpl=vmpl,
+                args={"ppn": ppn, "access": access.name})
+            machine.halt(f"continuous #NPF: {fault}", cause=fault)
+
+    def _rmp_fill(self, ppn: int, vmpl: int, access: Access,
+                  key: int) -> None:
+        """Verdict-cache miss: re-derive the RMP verdict and cache it.
+
+        Separated from the access fast path so the hit path stays a pure
+        set-membership test.  Failures halt the machine before the cache
+        insert, so a deny verdict is never cached.
+        """
+        machine = self.machine
+        tlb = self.tlb
+        tlb.stats.rmp_misses += 1
+        try:
+            machine.rmp.check_access(ppn=ppn, vmpl=vmpl, access=access)
+        except NestedPageFault as fault:
+            machine.tracer.instant(
+                "hw", "NPF", vcpu=self.cpu_index, vmpl=vmpl,
+                args={"ppn": ppn, "access": access.name})
+            machine.halt(f"continuous #NPF: {fault}", cause=fault)
+        tlb.rmp_allow.add(key)
+
+    def _refresh_view(self, root: int) -> "object":
+        """Re-validate the TLB's current-root shortcut for ``root``.
+
+        Installs (or re-uses) the per-root view and records the
+        page-table-registry version it was validated under.
+        """
+        machine = self.machine
+        tlb = self.tlb
+        table = machine._page_tables.get(root)
+        if table is None:
+            raise SimulationError(f"no page table rooted at {root:#x}")
+        view = tlb.views.get(root)
+        if (view is None or view.table is not table
+                or view.generation != table.generation):
+            view = tlb.view_for(root, table)
+        tlb.cur_root = root
+        tlb.cur_view = view
+        tlb.cur_ptver = machine._pt_version
+        return view
+
+    def _rmp_check(self, paddr: int, length: int, access: Access) -> None:
+        """RMP permission check over every page of a physical range."""
         for ppn in pages_spanned(paddr, length):
-            try:
-                self.machine.rmp.check_access(ppn=ppn, vmpl=self.vmpl,
-                                              access=access)
-            except NestedPageFault as fault:
-                self.machine.tracer.instant(
-                    "hw", "NPF", vcpu=self.cpu_index, vmpl=self.vmpl,
-                    args={"ppn": ppn, "access": access.name})
-                self.machine.halt(f"continuous #NPF: {fault}", cause=fault)
+            self._rmp_check_page(ppn, access)
+
+    # The three access methods below each have an inlined fast path: one
+    # per-call validity check (RMP generation, current-root view), then a
+    # per-page loop of plain dict/set operations with every attribute
+    # pre-bound to a local.  The duplication across read/write/fetch is
+    # deliberate -- this is the simulator's hottest loop, and factoring
+    # the body into helpers costs ~2x wall-clock (measured; Python call
+    # overhead dominates).  The slow twins (`_read_slow` etc.) keep the
+    # seed-identical uncached path and handle the edge cases; both paths
+    # charge the same ledger categories with the same amounts at the same
+    # points, which is what keeps cycle totals and traces byte-identical
+    # across VEIL_TLB modes (a tested invariant).
 
     def read(self, vaddr: int, length: int) -> bytes:
-        """Read guest-virtual memory with full protection checks."""
-        paddr = self._translate(vaddr, write=False, execute=False)
-        self._rmp_check(paddr, length, Access.READ)
-        return self.machine.memory.read(paddr, length)
+        """Read guest-virtual memory with full protection checks.
+
+        Translates *every* spanned virtual page and gathers -- virtually
+        contiguous pages need not be physically contiguous.
+        """
+        tlb = self.tlb
+        instance = self.instance
+        if not tlb.enabled or length <= 0 or instance is None:
+            return self._read_slow(vaddr, length)
+        machine = self.machine
+        # Per-call validity: nothing inside a single access can move the
+        # RMP or page-table generations, so check once, not per page.
+        rmp = machine.rmp
+        if tlb.rmp_generation != rmp.generation:
+            tlb.invalidate_rmp(rmp.generation)
+        root = self.regs.cr3
+        view = tlb.cur_view
+        if (root != tlb.cur_root or machine._pt_version != tlb.cur_ptver
+                or view.generation != view.table.generation):
+            view = self._refresh_view(root)
+        entries = view.entries
+        table = view.table
+        allow = tlb.rmp_allow
+        stats = tlb.stats
+        vmpl_bits = instance.vmpl << 4
+        user_ok = self.regs.cpl != 3
+        charge_walk = self._h_walk.charge
+        charge_copy = self._h_copy.charge
+        walk_cost = self._walk_cost
+        copy_x1000 = self._copy_x1000
+        memory = machine.memory
+        pages = memory._pages
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "read")
+            if not (user_ok or pte.user):
+                raise PageFault(vpn, "supervisor-only")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | _READ_BIT
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, Access.READ, key)
+            charge_copy(length * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                return memory.page_bytes(ppn, offset, length)
+            return bytes(memoryview(buf)[offset:offset + length])
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = PAGE_SIZE - off
+            if chunk > length - pos:
+                chunk = length - pos
+            vpn = cur >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "read")
+            if not (user_ok or pte.user):
+                raise PageFault(vpn, "supervisor-only")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | _READ_BIT
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, Access.READ, key)
+            charge_copy(chunk * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+            else:
+                out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def _read_slow(self, vaddr: int, length: int) -> bytes:
+        """Uncached / edge-case read path (seed-identical semantics)."""
+        if length <= 0:
+            if length < 0:
+                raise ValueError("negative length")
+            self._translate_vpn(vaddr >> PAGE_SHIFT, False, False)
+            self._h_copy.charge(0)
+            return b""
+        memory = self.machine.memory
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            ppn = self._translate_vpn(vaddr >> PAGE_SHIFT, False, False)
+            self._rmp_check_page(ppn, Access.READ)
+            self._h_copy.charge(length * self._copy_x1000 // 1000)
+            return memory.page_bytes(ppn, offset, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = min(length - pos, PAGE_SIZE - off)
+            ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, False)
+            self._rmp_check_page(ppn, Access.READ)
+            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
+            out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+            pos += chunk
+        return bytes(out)
 
     def write(self, vaddr: int, data: bytes) -> None:
-        """Write guest-virtual memory with full protection checks."""
-        paddr = self._translate(vaddr, write=True, execute=False)
-        self._rmp_check(paddr, len(data), Access.WRITE)
-        self.machine.memory.write(paddr, data)
+        """Write guest-virtual memory with full protection checks.
+
+        Scatter counterpart of :meth:`read`: translates and checks per
+        spanned virtual page.
+        """
+        tlb = self.tlb
+        instance = self.instance
+        length = len(data)
+        if not tlb.enabled or length == 0 or instance is None:
+            return self._write_slow(vaddr, data)
+        machine = self.machine
+        rmp = machine.rmp
+        if tlb.rmp_generation != rmp.generation:
+            tlb.invalidate_rmp(rmp.generation)
+        root = self.regs.cr3
+        view = tlb.cur_view
+        if (root != tlb.cur_root or machine._pt_version != tlb.cur_ptver
+                or view.generation != view.table.generation):
+            view = self._refresh_view(root)
+        entries = view.entries
+        table = view.table
+        allow = tlb.rmp_allow
+        stats = tlb.stats
+        vmpl_bits = instance.vmpl << 4
+        user_ok = self.regs.cpl != 3
+        charge_walk = self._h_walk.charge
+        charge_copy = self._h_copy.charge
+        walk_cost = self._walk_cost
+        copy_x1000 = self._copy_x1000
+        memory = machine.memory
+        pages = memory._pages
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "write")
+            if not pte.writable:
+                raise PageFault(vpn, "write-protected")
+            if not (user_ok or pte.user):
+                raise PageFault(vpn, "supervisor-only")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | _WRITE_BIT
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, Access.WRITE, key)
+            charge_copy(length * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                memory.page_write(ppn, offset, data)
+            else:
+                buf[offset:offset + length] = data
+            return
+        src = memoryview(data)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = PAGE_SIZE - off
+            if chunk > length - pos:
+                chunk = length - pos
+            vpn = cur >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "write")
+            if not pte.writable:
+                raise PageFault(vpn, "write-protected")
+            if not (user_ok or pte.user):
+                raise PageFault(vpn, "supervisor-only")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | _WRITE_BIT
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, Access.WRITE, key)
+            charge_copy(chunk * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                memory.page_write(ppn, off, src[pos:pos + chunk])
+            else:
+                buf[off:off + chunk] = src[pos:pos + chunk]
+            pos += chunk
+
+    def _write_slow(self, vaddr: int, data: bytes) -> None:
+        """Uncached / edge-case write path (seed-identical semantics)."""
+        length = len(data)
+        if length == 0:
+            self._translate_vpn(vaddr >> PAGE_SHIFT, True, False)
+            self._h_copy.charge(0)
+            return
+        memory = self.machine.memory
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            ppn = self._translate_vpn(vaddr >> PAGE_SHIFT, True, False)
+            self._rmp_check_page(ppn, Access.WRITE)
+            self._h_copy.charge(length * self._copy_x1000 // 1000)
+            memory.page_write(ppn, offset, data)
+            return
+        view = memoryview(data)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = min(length - pos, PAGE_SIZE - off)
+            ppn = self._translate_vpn(cur >> PAGE_SHIFT, True, False)
+            self._rmp_check_page(ppn, Access.WRITE)
+            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
+            memory.page_write(ppn, off, view[pos:pos + chunk])
+            pos += chunk
 
     def fetch(self, vaddr: int, length: int = 16) -> bytes:
         """Instruction fetch: checks UEXEC/SEXEC per current CPL."""
-        paddr = self._translate(vaddr, write=False, execute=True)
+        tlb = self.tlb
+        instance = self.instance
+        if not tlb.enabled or length <= 0 or instance is None:
+            return self._fetch_slow(vaddr, length)
+        machine = self.machine
+        rmp = machine.rmp
+        if tlb.rmp_generation != rmp.generation:
+            tlb.invalidate_rmp(rmp.generation)
+        root = self.regs.cr3
+        view = tlb.cur_view
+        if (root != tlb.cur_root or machine._pt_version != tlb.cur_ptver
+                or view.generation != view.table.generation):
+            view = self._refresh_view(root)
+        entries = view.entries
+        table = view.table
+        allow = tlb.rmp_allow
+        stats = tlb.stats
+        vmpl_bits = instance.vmpl << 4
+        supervisor = self.regs.cpl == 0
+        access = Access.SEXEC if supervisor else Access.UEXEC
+        access_bit = _SEXEC_BIT if supervisor else _UEXEC_BIT
+        charge_walk = self._h_walk.charge
+        charge_copy = self._h_copy.charge
+        walk_cost = self._walk_cost
+        copy_x1000 = self._copy_x1000
+        memory = machine.memory
+        pages = memory._pages
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "execute")
+            if not supervisor and not pte.user:
+                raise PageFault(vpn, "supervisor-only")
+            if pte.nx:
+                raise PageFault(vpn, "nx")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | access_bit
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, access, key)
+            charge_copy(length * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                return memory.page_bytes(ppn, offset, length)
+            return bytes(memoryview(buf)[offset:offset + length])
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = PAGE_SIZE - off
+            if chunk > length - pos:
+                chunk = length - pos
+            vpn = cur >> PAGE_SHIFT
+            pte = entries.get(vpn)
+            if pte is None:
+                stats.misses += 1
+                pte = table.entry(vpn)
+                if pte is not None:
+                    entries[vpn] = pte
+            else:
+                stats.hits += 1
+            charge_walk(walk_cost)
+            if pte is None:
+                raise PageFault(vpn, "execute")
+            if not supervisor and not pte.user:
+                raise PageFault(vpn, "supervisor-only")
+            if pte.nx:
+                raise PageFault(vpn, "nx")
+            ppn = pte.ppn
+            key = (ppn << 6) | vmpl_bits | access_bit
+            if key in allow:
+                stats.rmp_hits += 1
+            else:
+                self._rmp_fill(ppn, vmpl_bits >> 4, access, key)
+            charge_copy(chunk * copy_x1000 // 1000)
+            buf = pages.get(ppn)
+            if buf is None:
+                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+            else:
+                out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def _fetch_slow(self, vaddr: int, length: int) -> bytes:
+        """Uncached / edge-case fetch path (seed-identical semantics)."""
         access = Access.SEXEC if self.regs.cpl == 0 else Access.UEXEC
-        self._rmp_check(paddr, length, access)
-        return self.machine.memory.read(paddr, length)
+        if length <= 0:
+            if length < 0:
+                raise ValueError("negative length")
+            self._translate_vpn(vaddr >> PAGE_SHIFT, False, True)
+            self._h_copy.charge(0)
+            return b""
+        memory = self.machine.memory
+        offset = vaddr & _OFFSET_MASK
+        if offset + length <= PAGE_SIZE:
+            ppn = self._translate_vpn(vaddr >> PAGE_SHIFT, False, True)
+            self._rmp_check_page(ppn, access)
+            self._h_copy.charge(length * self._copy_x1000 // 1000)
+            return memory.page_bytes(ppn, offset, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            off = cur & _OFFSET_MASK
+            chunk = min(length - pos, PAGE_SIZE - off)
+            ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, True)
+            self._rmp_check_page(ppn, access)
+            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
+            out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+            pos += chunk
+        return bytes(out)
 
     # -- physical access (used only by VMPL-0 software, which owns all
     #    memory; still RMP-checked so the invariant holds structurally) ------
@@ -204,8 +726,11 @@ class VirtualCpu:
         # Attribute the span to the VMPL that *took* the exit; after
         # hw_exit the core may resume on a different instance.
         exiting_vmpl = self.instance.vmpl if self.instance else -1
-        with machine.tracer.span("hw", "VMGEXIT", vcpu=self.cpu_index,
-                                 vmpl=exiting_vmpl):
+        tracer = machine.tracer
+        span = tracer.span("hw", "VMGEXIT", vcpu=self.cpu_index,
+                           vmpl=exiting_vmpl) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             machine.ledger.charge("domain_switch", machine.cost.vmgexit)
             self.hw_exit()
             machine.hypervisor.handle_vmgexit(self)
@@ -216,9 +741,11 @@ class VirtualCpu:
         """Automatic exit (no GHCB protocol), e.g. a timer interrupt."""
         machine = self.machine
         exiting_vmpl = self.instance.vmpl if self.instance else -1
-        with machine.tracer.span("hw", "AE", vcpu=self.cpu_index,
-                                 vmpl=exiting_vmpl,
-                                 args={"reason": reason}):
+        tracer = machine.tracer
+        span = tracer.span("hw", "AE", vcpu=self.cpu_index,
+                           vmpl=exiting_vmpl, args={"reason": reason}) \
+            if tracer.enabled else NULL_SPAN
+        with span:
             machine.ledger.charge("exit", machine.cost.automatic_exit)
             self.hw_exit()
             machine.hypervisor.handle_automatic_exit(self, reason)
@@ -238,6 +765,7 @@ class VirtualCpu:
             raise GeneralProtectionFault("WBINVD requires CPL-0")
         self.machine.ledger.charge("wbinvd", self.machine.cost.wbinvd)
         self.microarch_residue.clear()
+        self.flush_tlb()
 
     # -- timers ---------------------------------------------------------------------
 

@@ -110,7 +110,7 @@ class Kernel:
                            nx=True)
         # Write a recognizable instruction pattern into the text pages so
         # integrity checks have real bytes to verify.
-        core.regs.cr3 = self.kernel_table.root_ppn
+        self.mm.switch_address_space(core, self.kernel_table)
         core.regs.cpl = 0
         pattern = bytes(range(256)) * (PAGE_SIZE // 256)
         for index in range(layout.KERNEL_TEXT_PAGES):

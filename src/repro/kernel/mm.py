@@ -76,6 +76,17 @@ class MemoryManager:
 
     # -- address spaces ---------------------------------------------------------
 
+    def switch_address_space(self, core, table: GuestPageTable) -> None:
+        """Load ``table`` as the active address space on ``core``.
+
+        Models a non-PCID ``MOV CR3``: the core's software TLB is fully
+        flushed.  The syscall path's CR3 toggles do *not* come through
+        here -- cached translations are tagged by root (PCID model), so
+        the round trip into the kernel space and back stays cached.
+        """
+        core.regs.cr3 = table.root_ppn
+        core.flush_tlb()
+
     def new_kernel_space(self) -> GuestPageTable:
         """Create the kernel's own address space with the direct map."""
         table = self.machine.create_page_table()

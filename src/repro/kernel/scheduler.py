@@ -70,4 +70,7 @@ class Scheduler:
         self.tick_count += 1
         core.automatic_exit("timer")
         self.pick_next()
+        # Context switch: the next process runs under a different CR3,
+        # so the core's cached translations are architecturally gone.
+        core.flush_tlb()
         return True

@@ -18,13 +18,14 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and usage.
 from .export import (chrome_trace, dumps_chrome_trace, render_summary,
                      validate_chrome_trace, write_chrome_trace)
 from .metrics import NULL_METRICS, CycleHistogram, MetricsRegistry, NullMetrics
-from .tracer import (DEFAULT_CAPACITY, NULL_TRACER, UNATTRIBUTED,
+from .tracer import (DEFAULT_CAPACITY, NULL_SPAN, NULL_TRACER, UNATTRIBUTED,
                      NullTracer, TraceEvent, Tracer, default_tracer,
                      set_default_tracer)
 
 __all__ = [
-    "Tracer", "NullTracer", "TraceEvent", "NULL_TRACER", "UNATTRIBUTED",
-    "DEFAULT_CAPACITY", "default_tracer", "set_default_tracer",
+    "Tracer", "NullTracer", "TraceEvent", "NULL_SPAN", "NULL_TRACER",
+    "UNATTRIBUTED", "DEFAULT_CAPACITY", "default_tracer",
+    "set_default_tracer",
     "MetricsRegistry", "CycleHistogram", "NullMetrics", "NULL_METRICS",
     "chrome_trace", "dumps_chrome_trace", "write_chrome_trace",
     "validate_chrome_trace", "render_summary",

@@ -172,4 +172,23 @@ def render_summary(tracer: Tracer, top: int = 10) -> str:
         lines.append(f"  {'domain switch':<28} {'count':>8}")
         for pair in sorted(switches):
             lines.append(f"  {pair:<28} {switches[pair]:>8,}")
+
+    # Software-TLB counters (veil-turbo), present when the machine
+    # published them after the run (the CLI does this post-export so the
+    # Chrome trace stays identical across VEIL_TLB modes).
+    tlb = tracer.metrics.counters_named("tlb")
+    if tlb:
+        lines.append("")
+        lines.append(f"  {'software TLB':<28} {'count':>8}")
+        for name in sorted(tlb):
+            lines.append(f"  {name:<28} {tlb[name]:>8,}")
+        hits, misses = tlb.get("hits", 0), tlb.get("misses", 0)
+        if hits + misses:
+            lines.append(f"  {'(translation hit rate)':<28} "
+                         f"{hits / (hits + misses):>8.1%}")
+        rhits = tlb.get("rmp_hits", 0)
+        rmisses = tlb.get("rmp_misses", 0)
+        if rhits + rmisses:
+            lines.append(f"  {'(rmp verdict hit rate)':<28} "
+                         f"{rhits / (rhits + rmisses):>8.1%}")
     return "\n".join(lines)

@@ -218,6 +218,12 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Shared no-op span for hot paths that want to skip even the
+#: ``NullTracer.span(...)`` call (argument packing costs show up on the
+#: VCPU access path): write
+#: ``span = tracer.span(...) if tracer.enabled else NULL_SPAN``.
+NULL_SPAN = _NULL_SPAN
+
 
 class NullTracer:
     """Tracing disabled: every operation is a no-op.

@@ -97,6 +97,19 @@ TRACE_WORKLOADS: dict = {
 def run_trace_workload(name: str, *,
                        tracer: Tracer | None = None) -> Tracer:
     """Run one named workload under a tracer and return the tracer."""
+    tracer, _system = run_trace_workload_system(name, tracer=tracer)
+    return tracer
+
+
+def run_trace_workload_system(name: str, *, tracer: Tracer | None = None
+                              ) -> "tuple[Tracer, VeilSystem]":
+    """Like :func:`run_trace_workload` but also return the booted system.
+
+    The CLI uses the system handle to publish TLB counters *after* the
+    Chrome trace export (the export embeds the metrics registry, and the
+    cache counters must not leak into it -- exported traces are
+    byte-identical across ``VEIL_TLB`` modes, a tested invariant).
+    """
     try:
         runner, _desc = TRACE_WORKLOADS[name]
     except KeyError:
@@ -104,5 +117,5 @@ def run_trace_workload(name: str, *,
             f"unknown trace workload {name!r}; choose from "
             f"{', '.join(sorted(TRACE_WORKLOADS))}") from None
     tracer = tracer or Tracer()
-    runner(tracer)
-    return tracer
+    system = runner(tracer)
+    return tracer, system

@@ -3,7 +3,9 @@
 from repro.analysis import Severity
 from repro.analysis.rules import (AuditCompletenessRule,
                                   ExceptionHygieneRule, GateBypassRule,
-                                  LayeringRule, VmplLiteralRule)
+                                  LayeringRule,
+                                  RmpMutationGenerationRule,
+                                  VmplLiteralRule)
 
 from .conftest import findings_for
 
@@ -267,3 +269,88 @@ class TestVmplLiteral:
         assert report.exit_code == 1
         assert findings_for(report, "vmpl-literal")[0].severity \
             is Severity.ERROR
+
+
+class TestRmpMutationGeneration:
+    def test_mutator_without_bump_is_flagged(self, analyze):
+        report = analyze({
+            "hw/rmp.py": """\
+                class Rmp:
+                    def revoke(self, ppn):
+                        self._entries[ppn].assigned = False
+                """},
+            rules=[RmpMutationGenerationRule()])
+        found = findings_for(report, "rmp-mutation-generation")
+        assert len(found) == 1
+        assert "Rmp.revoke" in found[0].message
+        assert found[0].severity is Severity.ERROR
+
+    def test_mutator_with_bump_passes(self, analyze):
+        report = analyze({
+            "hw/rmp.py": """\
+                class Rmp:
+                    def revoke(self, ppn):
+                        self._entries[ppn].assigned = False
+                        self.generation += 1
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert findings_for(report, "rmp-mutation-generation") == []
+
+    def test_page_table_container_mutation_flagged(self, analyze):
+        report = analyze({
+            "hw/pagetable.py": """\
+                class GuestPageTable:
+                    def wipe(self):
+                        self._entries.clear()
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert len(findings_for(report, "rmp-mutation-generation")) == 1
+
+    def test_perms_subscript_mutation_flagged(self, analyze):
+        report = analyze({
+            "hw/rmp.py": """\
+                class Rmp:
+                    def weaken(self, ent, vmpl, perms):
+                        ent.perms[vmpl] = perms
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert len(findings_for(report, "rmp-mutation-generation")) == 1
+
+    def test_init_is_exempt(self, analyze):
+        report = analyze({
+            "hw/rmp.py": """\
+                class Rmp:
+                    def __init__(self):
+                        self._entries = {}
+                        self._default = None
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert findings_for(report, "rmp-mutation-generation") == []
+
+    def test_other_classes_and_packages_exempt(self, analyze):
+        report = analyze({
+            "hw/ghcb.py": """\
+                class Ghcb:
+                    def set(self):
+                        self._entries = {}
+                """,
+            "kernel/mm.py": """\
+                class Rmp:
+                    def set(self):
+                        self._entries = {}
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert findings_for(report, "rmp-mutation-generation") == []
+
+    def test_justified_suppression_is_honored(self, analyze):
+        report = analyze({
+            "hw/pagetable.py": """\
+                class GuestPageTable:
+                    def clone_into(self, new):
+                        # veil-lint: allow(rmp-mutation-generation) -- fresh table, nothing cached yet
+                        new._entries = {}
+                """},
+            rules=[RmpMutationGenerationRule()])
+        assert findings_for(report, "rmp-mutation-generation") == []
+        assert any(f.rule == "rmp-mutation-generation" and f.suppressed
+                   for f in report.findings)

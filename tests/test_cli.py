@@ -13,6 +13,7 @@ class TestParser:
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
                                     "cluster", "lint", "trace",
+                                    "turbo", "profile",
                                     "export", "ablations", "all"}
 
     def test_missing_command_errors(self):
@@ -79,3 +80,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "LTP conformance" in out
         assert "ptrace" in out
+
+    def test_trace_summary_includes_tlb_counters(self, capsys, tmp_path):
+        out_path = tmp_path / "syscalls.trace.json"
+        main(["trace", "syscalls", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "software TLB" in out
+        # The counters are summary-only: the exported Chrome trace must
+        # not embed them (it stays identical across VEIL_TLB modes).
+        assert "tlb/" not in out_path.read_text()
+
+    def test_turbo(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_turbo.json"
+        main(["turbo", "--iterations", "1", "--sweeps", "2",
+              "--repeats", "1", "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert "veil-turbo" in out and "cycle parity: OK" in out
+        import json
+        payload = json.loads(json_path.read_text())
+        assert payload["cycles_equal"] is True
+        assert payload["tlb_stats"]["hits"] > 0
+
+    def test_turbo_min_speedup_floor_enforced(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["turbo", "--iterations", "1", "--sweeps", "1",
+                  "--repeats", "1", "--min-speedup", "1000"])
+
+    def test_profile(self, capsys):
+        main(["profile", "switch", "--top", "5", "--sort", "tottime"])
+        out = capsys.readouterr().out
+        assert "function calls" in out
+        assert "Ordered by: internal time" in out

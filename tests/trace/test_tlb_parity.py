@@ -1,0 +1,73 @@
+"""Cross-mode determinism: VEIL_TLB=0 and VEIL_TLB=1 agree exactly.
+
+The software TLB (veil-turbo) is a wall-clock optimization of the
+simulator, not a change to the modeled machine: with the cache on or
+off, every workload must charge identical cycle totals, identical
+per-category breakdowns, and export byte-identical Chrome traces.
+These tests pin that invariant on the trace demo workloads and on the
+paper's Fig. 4 syscall benches.
+"""
+
+import pytest
+
+from repro.trace import Tracer, dumps_chrome_trace
+from repro.workloads.trace_demo import TRACE_WORKLOADS
+
+
+def _run_workload(monkeypatch, name, tlb):
+    monkeypatch.setenv("VEIL_TLB", "1" if tlb else "0")
+    runner, _desc = TRACE_WORKLOADS[name]
+    tracer = Tracer()
+    system = runner(tracer)
+    return {
+        "total": system.machine.ledger.total,
+        "by_category": dict(system.machine.ledger.by_category),
+        "chrome": dumps_chrome_trace(tracer),
+        "tlb_stats": system.machine.tlb_stats(),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(TRACE_WORKLOADS))
+def test_trace_workload_parity(monkeypatch, name):
+    uncached = _run_workload(monkeypatch, name, tlb=False)
+    cached = _run_workload(monkeypatch, name, tlb=True)
+    assert uncached["total"] == cached["total"]
+    assert uncached["by_category"] == cached["by_category"]
+    assert uncached["chrome"] == cached["chrome"]
+    # The uncached run never touched the cache; the cached run did.
+    stats = uncached["tlb_stats"]
+    assert stats["hits"] == stats["misses"] == 0
+    assert cached["tlb_stats"]["misses"] > 0
+
+
+def test_quickstart_cached_run_gets_hits(monkeypatch):
+    cached = _run_workload(monkeypatch, "quickstart", tlb=True)
+    stats = cached["tlb_stats"]
+    assert stats["hits"] > 0
+    assert stats["rmp_hits"] > 0
+    assert stats["flushes"] > 0
+
+
+def test_fig4_rows_identical_across_modes(monkeypatch):
+    from repro.bench import run_fig4
+
+    monkeypatch.setenv("VEIL_TLB", "0")
+    uncached = run_fig4(iterations=3)
+    monkeypatch.setenv("VEIL_TLB", "1")
+    cached = run_fig4(iterations=3)
+    assert uncached == cached
+
+
+def test_config_overrides_environment(monkeypatch):
+    from repro.core import VeilConfig, boot_veil_system
+
+    monkeypatch.setenv("VEIL_TLB", "0")
+    system = boot_veil_system(VeilConfig(
+        memory_bytes=32 * 1024 * 1024, num_cores=2,
+        log_storage_pages=64, tlb=True))
+    assert system.machine.tlb_enabled is True
+    monkeypatch.setenv("VEIL_TLB", "1")
+    system = boot_veil_system(VeilConfig(
+        memory_bytes=32 * 1024 * 1024, num_cores=2,
+        log_storage_pages=64, tlb=False))
+    assert system.machine.tlb_enabled is False

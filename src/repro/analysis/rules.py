@@ -62,6 +62,14 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
     # into fleet code -- a replica CVM must not know it is in a fleet.
     "cluster": frozenset({"hw", "hv", "kernel", "enclave", "core",
                           "workloads", "trace", "crypto", "errors"}),
+    # ``chaos`` is the fault-injection harness: it drives the fleet (and
+    # reaches byzantine knobs in ``hv``) from above, so it may import
+    # every layer -- but nothing imports chaos: injection is strictly an
+    # outside-in concern and the production stack must not know it is
+    # being tortured.
+    "chaos": frozenset({"cluster", "hw", "hv", "kernel", "enclave",
+                        "core", "workloads", "trace", "crypto",
+                        "errors"}),
     # The analyzer itself must not depend on the tree it judges.
     "analysis": frozenset(),
 }

@@ -1,0 +1,116 @@
+"""End-of-schedule invariant checking for chaos runs.
+
+After a fault schedule finishes, three things must still be true no
+matter what the adversary did to the fabric or the hypervisor:
+
+1. **No plaintext crossed the fabric.**  The snooped transcript is
+   scanned for request/response field markers.  The markers exploit a
+   serialization asymmetry: sealed payloads are JSON-encoded with
+   spaced separators (``"op": ``) *before* encryption, while the clear
+   routing envelopes use compact separators (``"op":``) -- so a spaced
+   marker can only appear on the wire if a to-be-sealed payload leaked
+   unencrypted.
+2. **No unattested replica served traffic.**  Every replica that
+   executed a request must have been admitted through the relying-party
+   handshake, and no tampered-image replica may ever have been
+   admitted.
+3. **The audit chain still verifies** (or the sweep detected the
+   tampering).  Recovery must not have forked, duplicated, or lost
+   audit records: the fleet-wide sweep re-pulls every admitted
+   replica's log over the attested control channels and recomputes the
+   MAC chain.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from ..cluster.auditor import FleetAuditReport
+from ..errors import SecurityViolation
+
+if typing.TYPE_CHECKING:
+    from ..cluster.fleet import ClusterFleet
+    from .net import ChaoticNetwork
+
+#: Field markers that only occur in *pre-seal* payload serializations
+#: (spaced JSON separators); the clear envelopes are compact-encoded.
+PLAINTEXT_MARKERS: tuple[bytes, ...] = (
+    b'"op": ', b'"key": ', b'"request_id": ', b'"logs": ',
+    b'"chain_hex": ')
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one post-schedule invariant sweep."""
+
+    violations: list[str] = field(default_factory=list)
+    messages_scanned: int = 0
+    audit_verified: bool = False
+    tampering_detected: bool = False
+    detection_reason: str = ""
+    audit: FleetAuditReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+
+class InvariantChecker:
+    """Asserts the fleet's security story survived the schedule."""
+
+    def check(self, fleet: "ClusterFleet",
+              net: "ChaoticNetwork") -> InvariantReport:
+        """Run all three invariants; violations land in the report.
+
+        Call with fault injection deactivated (and held messages
+        flushed): the sweep itself must observe the fleet, not fight
+        the adversary.
+        """
+        report = InvariantReport()
+        self._check_no_plaintext(net, report)
+        self._check_only_attested_served(fleet, report)
+        self._check_audit_chain(fleet, report)
+        return report
+
+    def _check_no_plaintext(self, net: "ChaoticNetwork",
+                            report: InvariantReport) -> None:
+        for src, dst, wire in net.snooped:
+            report.messages_scanned += 1
+            for marker in PLAINTEXT_MARKERS:
+                if marker in wire:
+                    report.violations.append(
+                        f"plaintext marker {marker!r} crossed the "
+                        f"fabric on {src}->{dst}")
+                    break
+
+    def _check_only_attested_served(self, fleet: "ClusterFleet",
+                                    report: InvariantReport) -> None:
+        admitted = fleet.frontend.ever_admitted
+        for name, replica in fleet.replicas.items():
+            if replica.requests_served > 0 and name not in admitted:
+                report.violations.append(
+                    f"unattested replica {name} served "
+                    f"{replica.requests_served} requests")
+            if replica.tampered and name in admitted:
+                report.violations.append(
+                    f"tampered replica {name} was admitted to the "
+                    "routing set")
+
+    def _check_audit_chain(self, fleet: "ClusterFleet",
+                           report: InvariantReport) -> None:
+        try:
+            audit = fleet.audit_all()
+        except SecurityViolation as detected:
+            # A failed sweep IS detection: the chain check refused to
+            # vouch for records the adversary touched.
+            report.tampering_detected = True
+            report.detection_reason = str(detected)
+            return
+        report.audit = audit
+        report.audit_verified = audit.all_verified
+        if not audit.all_verified:
+            report.violations.append(
+                "audit sweep returned unverified chains without "
+                "raising")

@@ -35,7 +35,7 @@ from ..errors import AttestationError
 from ..hv.attestation import AttestationReport, RemoteUser
 from ..hw import VMPL_MON
 from ..hw.cycles import CostModel
-from .net import decode_message, encode_message
+from .net import encode_message, try_decode
 
 if typing.TYPE_CHECKING:
     from ..hw.cycles import CycleLedger
@@ -43,6 +43,14 @@ if typing.TYPE_CHECKING:
 
 #: Domain-separation label folded into the data-plane key derivation.
 DATA_KEY_LABEL = b"veil-fleet-data"
+
+#: Anti-replay window (in records) on every fleet channel.  The fabric
+#: may drop or reorder traffic under fault injection, so links use a
+#: DTLS-style sliding window instead of the strict in-order mode: a
+#: retried request re-sealed under a fresh counter is accepted even
+#: though earlier counters were lost, while true replays inside the
+#: window are still refused.
+CHANNEL_WINDOW = 64
 
 
 def derive_data_key(link_key: bytes) -> bytes:
@@ -90,6 +98,26 @@ class FleetVerifier:
     #: policy lookup, session install).
     HANDSHAKE_BASE_CYCLES = 20_000
 
+    @staticmethod
+    def _expect_reply(net, frontend_name: str, replica_name: str) -> dict:
+        """Pop the replica's next well-formed handshake reply.
+
+        Re-attestation after a crash can find the relying party's inbox
+        holding stale replies from the pre-crash exchange (or fabric
+        garbage under fault injection); those are discarded rather than
+        misparsed as the handshake response.
+        """
+        while net.pending(frontend_name):
+            src, wire = net.recv(frontend_name)
+            if src != replica_name:
+                continue
+            reply = try_decode(wire)
+            if reply is None or "request_id" in reply:
+                continue      # garbage, or a stale data-path envelope
+            return reply
+        raise AttestationError(
+            f"replica {replica_name} sent no handshake reply")
+
     def establish(self, replica: "ClusterReplica",
                   frontend_name: str) -> AttestedLink:
         """Run the full attestation handshake with one replica.
@@ -108,15 +136,25 @@ class FleetVerifier:
             net.send(frontend_name, replica.name,
                      encode_message({"kind": "attest"}))
             replica.pump()
-            _src, wire = net.recv(frontend_name)
-            reply = decode_message(wire)
-            report_dict = reply["report"]
-            report = AttestationReport(
-                measurement=bytes.fromhex(report_dict["measurement_hex"]),
-                requester_vmpl=int(report_dict["requester_vmpl"]),
-                report_data=bytes.fromhex(report_dict["report_data_hex"]),
-                signature=bytes.fromhex(report_dict["signature_hex"]))
-            dh_public = bytes.fromhex(report_dict["dh_public_hex"])
+            reply = self._expect_reply(net, frontend_name, replica.name)
+            report_dict = reply.get("report")
+            if not isinstance(report_dict, dict):
+                raise AttestationError(
+                    f"replica {replica.name} returned no attestation "
+                    "report")
+            try:
+                report = AttestationReport(
+                    measurement=bytes.fromhex(
+                        report_dict["measurement_hex"]),
+                    requester_vmpl=int(report_dict["requester_vmpl"]),
+                    report_data=bytes.fromhex(
+                        report_dict["report_data_hex"]),
+                    signature=bytes.fromhex(report_dict["signature_hex"]))
+                dh_public = bytes.fromhex(report_dict["dh_public_hex"])
+            except (KeyError, ValueError, TypeError) as bad:
+                raise AttestationError(
+                    f"replica {replica.name} sent a malformed "
+                    f"attestation report: {bad}") from None
             # Relying-party verification cost: one RSA verify, hashing the
             # report body and the DH binding, plus session bookkeeping.
             self.ledger.charge("crypto", self.cost.signature_verify +
@@ -138,8 +176,8 @@ class FleetVerifier:
                 "peer_public_hex": user.dh.public.to_bytes(256,
                                                            "big").hex()}))
             replica.pump()
-            _src, wire = net.recv(frontend_name)
-            if decode_message(wire).get("status") != "ok":
+            install = self._expect_reply(net, frontend_name, replica.name)
+            if install.get("status") != "ok":
                 raise AttestationError(
                     f"replica {replica.name} refused channel install")
             handshake_cycles = ((self.ledger.total - before_fe) +
@@ -147,9 +185,11 @@ class FleetVerifier:
             link = AttestedLink(
                 replica=replica.name,
                 measurement_hex=report.measurement.hex(),
-                control=SecureChannel(key, role="initiator"),
+                control=SecureChannel(key, role="initiator",
+                                      window=CHANNEL_WINDOW),
                 data=SecureChannel(derive_data_key(key),
-                                   role="initiator"),
+                                   role="initiator",
+                                   window=CHANNEL_WINDOW),
                 handshake_cycles=handshake_cycles)
         tracer.metrics.observe("handshake_cycles", replica.name,
                                handshake_cycles)

@@ -19,7 +19,7 @@ from ..errors import SecurityViolation
 from ..hw.cycles import CycleLedger
 from ..trace.tracer import NULL_TRACER
 from .attest import AttestedLink
-from .net import InterHostNetwork, decode_message, encode_message
+from .net import InterHostNetwork, encode_message, try_decode
 
 if typing.TYPE_CHECKING:
     from .replica import ClusterReplica
@@ -54,6 +54,12 @@ class FleetAuditReport:
 class FleetAuditor:
     """Central log collector holding the fleet's control channels."""
 
+    #: Bounded retry budget per export chunk.  A dropped, corrupted, or
+    #: refused chunk is simply re-requested -- the replica re-seals it
+    #: under a fresh counter and the windowed control channel accepts
+    #: the re-sealed record.
+    CHUNK_ATTEMPTS = 4
+
     def __init__(self, net: InterHostNetwork, *, name: str = "auditor",
                  tracer=None):
         self.net = net
@@ -61,6 +67,55 @@ class FleetAuditor:
         self.tracer = tracer or NULL_TRACER
         self.ledger = CycleLedger()
         net.attach(name, self.ledger)
+
+    def _chunk_reply(self, replica_name: str, start: int) -> dict | None:
+        """Pop the reply for the chunk at ``start``, discarding the rest.
+
+        Fabric garbage and stale/duplicated replies to earlier chunk
+        requests are dropped (and counted) so a retried export never
+        splices the wrong chunk into the record stream.
+        """
+        matched = None
+        while self.net.pending(self.name):
+            src, wire = self.net.recv(self.name)
+            reply = try_decode(wire)
+            if (matched is None and reply is not None
+                    and src == replica_name
+                    and reply.get("start") == start):
+                matched = reply
+            else:
+                self.tracer.metrics.count(
+                    "auditor_discarded",
+                    "stale" if reply is not None else "garbage")
+        return matched
+
+    def _fetch_chunk(self, link: AttestedLink, replica: "ClusterReplica",
+                     start: int) -> tuple[dict, dict]:
+        """One chunk with bounded retry: (envelope, unsealed payload)."""
+        reason = "no attempts"
+        for _attempt in range(self.CHUNK_ATTEMPTS):
+            self.net.send(self.name, link.replica, encode_message(
+                {"kind": "log_export", "start": start}))
+            replica.pump()
+            reply = self._chunk_reply(link.replica, start)
+            if reply is None:
+                reason = "no reply"
+            elif reply.get("status") != "ok":
+                reason = f"refused export: {reply.get('reason', reply)}"
+            else:
+                try:
+                    sealed = bytes.fromhex(reply.get("record_hex", ""))
+                    payload = link.control.receive(sealed)
+                except ValueError as malformed:
+                    reason = f"malformed chunk: {malformed}"
+                except SecurityViolation as tampered:
+                    reason = f"tampered chunk: {tampered}"
+                else:
+                    return reply, payload
+            self.tracer.metrics.count("audit_chunk_retry", link.replica)
+        raise SecurityViolation(
+            f"replica {link.replica} export chunk at {start} failed "
+            f"after {self.CHUNK_ATTEMPTS} attempts ({reason})")
 
     def pull(self, link: AttestedLink,
              replica: "ClusterReplica") -> ReplicaAudit:
@@ -72,16 +127,7 @@ class FleetAuditor:
         with self.tracer.span("cluster", "audit_pull",
                               args={"replica": link.replica}):
             while start is not None:
-                self.net.send(self.name, link.replica, encode_message(
-                    {"kind": "log_export", "start": start}))
-                replica.pump()
-                _src, wire = self.net.recv(self.name)
-                reply = decode_message(wire)
-                if reply.get("status") != "ok":
-                    raise SecurityViolation(
-                        f"replica {link.replica} refused export: {reply}")
-                sealed = bytes.fromhex(reply["record_hex"])
-                payload = link.control.receive(sealed)  # raises on tamper
+                reply, payload = self._fetch_chunk(link, replica, start)
                 entries.extend(payload["logs"])
                 chain_hex = payload["chain_hex"]
                 start = reply.get("next")

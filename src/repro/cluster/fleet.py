@@ -106,7 +106,8 @@ class ClusterFleet:
     """A booted fleet: fabric + replicas + front end + auditor."""
 
     def __init__(self, config: ClusterConfig,
-                 tracer: "Tracer | None" = None):
+                 tracer: "Tracer | None" = None,
+                 net: InterHostNetwork | None = None):
         from ..trace.tracer import default_tracer
         self.config = config
         if tracer is None:
@@ -114,7 +115,10 @@ class ClusterFleet:
             # so fleet runs trace like single-machine runs do.
             tracer = default_tracer()
         self.tracer = tracer
-        self.net = InterHostNetwork(cost=config.net_cost, tracer=tracer)
+        #: ``net`` lets a caller supply a pre-built fabric -- the chaos
+        #: harness wraps the fleet in a fault-injecting subclass this way.
+        self.net = net if net is not None else InterHostNetwork(
+            cost=config.net_cost, tracer=tracer)
         self.replicas: dict[str, ClusterReplica] = {}
         for index in range(config.replicas):
             replica = ClusterReplica(
@@ -138,12 +142,27 @@ class ClusterFleet:
             ledger=self.frontend.ledger, tracer=tracer)
         self.links: dict[str, AttestedLink] = {}
         self.rejected: list[RejectedHandshake] = []
+        self.frontend.reattest = self._reattest
         clock = FleetClock([r.ledger for r in self.replicas.values()])
         clock.add(self.frontend.ledger)
         clock.add(self.auditor.ledger)
         self.clock = clock
         if tracer is not None:
             tracer.attach_ledger(clock)
+
+    def _reattest(self, name: str) -> AttestedLink:
+        """Front-end heal hook: fresh handshake with one replica.
+
+        A crashed-and-restarted (or desynced) replica is only re-admitted
+        through the same relying-party flow as initial admission; the new
+        link replaces the old one everywhere the fleet tracks it.
+        """
+        replica = self.replicas[name]
+        if not replica.alive:
+            raise AttestationError(f"replica {name} is down")
+        link = self.verifier.establish(replica, self.frontend.name)
+        self.links[name] = link
+        return link
 
     # -- phases ----------------------------------------------------------
 

@@ -25,18 +25,32 @@ Three routing policies, selectable by name:
 ``consistent-hash``
     SHA-256 hash ring with virtual nodes keyed by the request key --
     stable key → replica affinity under membership change.
+
+Failure semantics (veil-chaos): the fabric between the front end and
+the replicas is *untrusted* -- it may drop, duplicate, delay, and
+corrupt messages, and replicas may crash mid-request.  The request path
+therefore assumes nothing about delivery: every logical request carries
+an idempotent ``request_id``, failed attempts are retried with
+deterministic exponential backoff, repeatedly-failing replicas are
+struck and quarantined (degrading the routing candidate set instead of
+raising), and quarantined replicas are periodically re-admitted through
+a full re-attestation handshake (:attr:`FrontEnd.reattest`).  A request
+only fails once every bounded retry against every candidate has been
+exhausted.
 """
 
 from __future__ import annotations
 
 import typing
+from bisect import bisect_left
+from dataclasses import dataclass
 
 from ..crypto import sha256
-from ..errors import SimulationError
+from ..errors import AttestationError, SecurityViolation, SimulationError
 from ..hw.cycles import CLOCK_HZ, CycleLedger
 from ..trace.tracer import NULL_TRACER
 from .attest import AttestedLink
-from .net import InterHostNetwork, decode_message, encode_message
+from .net import InterHostNetwork, encode_message, try_decode
 
 if typing.TYPE_CHECKING:
     from .replica import ClusterReplica
@@ -86,6 +100,7 @@ class ConsistentHash(RoutingPolicy):
 
     def __init__(self):
         self._ring: list[tuple[bytes, str]] = []
+        self._positions: list[bytes] = []
         self._members: tuple[str, ...] = ()
 
     def _rebuild(self, candidates: list[str]) -> None:
@@ -93,16 +108,22 @@ class ConsistentHash(RoutingPolicy):
         self._ring = sorted(
             (sha256(f"{name}#{vnode}".encode()), name)
             for name in candidates for vnode in range(self.VNODES))
+        self._positions = [position for position, _name in self._ring]
 
     def choose(self, request, candidates, outstanding):
-        """Map the request key to its clockwise ring successor."""
+        """Map the request key to its clockwise ring successor.
+
+        Binary search over the sorted ring positions (``bisect``), not a
+        linear scan: the successor is the first position >= the key's
+        hash point, wrapping to the first ring entry past the top.
+        """
         if tuple(candidates) != self._members:
             self._rebuild(candidates)
         point = sha256(str(request.get("key", "")).encode())
-        for position, name in self._ring:
-            if position >= point:
-                return name
-        return self._ring[0][1]
+        index = bisect_left(self._positions, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
 
 
 #: Policy registry for the CLI / benchmarks.
@@ -123,8 +144,28 @@ def make_policy(name: str) -> RoutingPolicy:
             f"{', '.join(sorted(POLICIES))}") from None
 
 
+@dataclass
+class ReplicaHealth:
+    """Per-replica failure bookkeeping held by the front end."""
+
+    strikes: int = 0              # consecutive failed attempts
+    quarantined: bool = False
+    reason: str = ""              # why the replica was quarantined
+    failures: int = 0             # all-time failed attempts
+    reattested: int = 0           # successful re-admissions
+
+
 class FrontEnd:
     """Attestation-aware load balancer over the fleet fabric."""
+
+    #: Bounded retry budget for one logical request (attempts, not
+    #: replicas: failover counts against the same budget).
+    MAX_ATTEMPTS = 6
+    #: Consecutive failures before a replica is quarantined.
+    STRIKE_LIMIT = 3
+    #: Deterministic backoff charged to the front-end ledger before
+    #: retry ``n``: ``BACKOFF_BASE_CYCLES << min(n - 1, 6)``.
+    BACKOFF_BASE_CYCLES = 4_000
 
     def __init__(self, net: InterHostNetwork, *, name: str = "frontend",
                  policy: "RoutingPolicy | str" = "least-outstanding",
@@ -142,21 +183,47 @@ class FrontEnd:
         #: Virtual-clock horizon (front-end ledger time) per replica.
         self.busy_until: dict[str, int] = {}
         self.routed: dict[str, int] = {}
+        self.health: dict[str, ReplicaHealth] = {}
+        #: Every replica ever admitted (the invariant checker uses this
+        #: to assert no unattested replica served traffic).
+        self.ever_admitted: set[str] = set()
+        #: Re-attestation hook installed by the fleet: callable taking a
+        #: replica name and returning a fresh :class:`AttestedLink`
+        #: (raising ``AttestationError``/``SimulationError`` on failure).
+        self.reattest: "typing.Callable[[str], AttestedLink] | None" = None
+        self._request_seq = 0
+        self.retries = 0
+        #: All-time quarantine count (health entries reset on re-admit,
+        #: this does not).
+        self.quarantines = 0
         self._epoch = self.ledger.total
 
     # -- membership ------------------------------------------------------
 
     def admit(self, link: AttestedLink, replica: "ClusterReplica") -> None:
-        """Add an attested replica to the routing set."""
+        """Add an attested replica to the routing set.
+
+        Re-admission (after a successful re-attestation handshake)
+        replaces the link -- fresh channels, fresh sequence space -- and
+        clears the replica's failure record.
+        """
         self._links[link.replica] = link
         self._replicas[link.replica] = replica
         self.busy_until.setdefault(link.replica, self.ledger.total)
         self.routed.setdefault(link.replica, 0)
+        self.health[link.replica] = ReplicaHealth()
+        self.ever_admitted.add(link.replica)
 
     @property
     def members(self) -> list[str]:
         """Admitted replica names, in index order."""
         return sorted(self._links, key=lambda n: self._replicas[n].index)
+
+    @property
+    def healthy(self) -> list[str]:
+        """Admitted, non-quarantined replica names, in index order."""
+        return [n for n in self.members
+                if not self.health[n].quarantined]
 
     def link(self, name: str) -> AttestedLink:
         """The attested link for replica ``name`` (KeyError if not admitted)."""
@@ -166,32 +233,173 @@ class FrontEnd:
         """Cycles of queued work on ``name`` beyond the virtual now."""
         return max(0, self.busy_until.get(name, 0) - self.ledger.total)
 
+    # -- health & recovery -----------------------------------------------
+
+    def quarantine(self, name: str, reason: str) -> None:
+        """Remove ``name`` from the routing candidates until re-attested."""
+        health = self.health[name]
+        if health.quarantined:
+            return
+        health.quarantined = True
+        health.reason = reason
+        self.quarantines += 1
+        self.tracer.instant("cluster", "replica_quarantined",
+                            args={"replica": name, "reason": reason})
+        self.tracer.metrics.count("replica_quarantined", name)
+
+    def heal_quarantined(self) -> int:
+        """Try to re-admit quarantined replicas via re-attestation.
+
+        Each quarantined replica gets one fresh relying-party handshake
+        (through :attr:`reattest`); success replaces the link and clears
+        the quarantine, failure leaves it quarantined for the next heal
+        sweep.  Returns how many replicas were re-admitted.
+        """
+        if self.reattest is None:
+            return 0
+        healed = 0
+        for name in [n for n in self.members
+                     if self.health[n].quarantined]:
+            reattests = self.health[name].reattested
+            try:
+                link = self.reattest(name)
+            except (AttestationError, SecurityViolation,
+                    SimulationError) as refused:
+                self.tracer.instant("cluster", "reattest_failed",
+                                    args={"replica": name,
+                                          "reason": str(refused)})
+                self.tracer.metrics.count("reattest_failed", name)
+                continue
+            self.admit(link, self._replicas[name])
+            self.health[name].reattested = reattests + 1
+            self.tracer.metrics.count("replica_reattested", name)
+            healed += 1
+        return healed
+
+    def _note_failure(self, name: str, reason: str) -> None:
+        """Record one failed attempt against ``name``; maybe quarantine."""
+        health = self.health[name]
+        health.strikes += 1
+        health.failures += 1
+        self.retries += 1
+        self.tracer.instant("cluster", "request_retry",
+                            args={"replica": name, "reason": reason})
+        self.tracer.metrics.count("request_retry", name)
+        if health.strikes >= self.STRIKE_LIMIT:
+            self.quarantine(name, reason)
+
+    def _backoff(self, attempt: int) -> None:
+        """Charge the deterministic retry backoff to the virtual clock."""
+        cycles = self.BACKOFF_BASE_CYCLES << min(attempt - 1, 6)
+        self.ledger.charge("backoff", cycles)
+
     # -- request path ----------------------------------------------------
 
     def request(self, payload: dict) -> dict:
-        """Route one closed-loop request and return the replica's reply."""
+        """Route one closed-loop request and return the replica's reply.
+
+        The request is retried (with failover across the healthy
+        candidate set and deterministic backoff) until it completes or
+        the bounded attempt budget is exhausted; only the latter raises.
+        """
         if not self._links:
             raise SimulationError("no attested replicas admitted")
-        candidates = self.members
-        outstanding = {n: self.outstanding(n) for n in candidates}
-        picked = self.policy.choose(payload, candidates, outstanding)
+        request_id = self._request_seq
+        self._request_seq += 1
+        body = dict(payload, request_id=request_id)
+        tried: set[str] = set()
+        failures: list[str] = []
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            candidates = [n for n in self.healthy if n not in tried]
+            if not candidates:
+                tried.clear()
+                candidates = self.healthy
+            if not candidates:
+                self.heal_quarantined()
+                candidates = self.healthy
+            if not candidates:
+                break
+            outstanding = {n: self.outstanding(n) for n in candidates}
+            picked = self.policy.choose(body, candidates, outstanding)
+            if attempt > 1:
+                self._backoff(attempt)
+            attempt_result = self._attempt(picked, body, request_id)
+            if attempt_result is not None:
+                result, service_cycles = attempt_result
+                self._complete(picked, service_cycles)
+                return result
+            tried.add(picked)
+            failures.append(picked)
+        raise SimulationError(
+            f"request {request_id} failed after {len(failures)} attempts "
+            f"(replicas tried: {', '.join(failures) or 'none'})")
+
+    def _attempt(self, picked: str, body: dict,
+                 request_id: int) -> "tuple[dict, int] | None":
+        """One sealed round trip to ``picked``; ``None`` on any failure."""
         link = self._links[picked]
         replica = self._replicas[picked]
         with self.tracer.span("cluster", "route",
                               args={"replica": picked,
                                     "policy": self.policy.name}):
-            sealed = link.data.send(payload)
             before = replica.ledger.total
+            try:
+                sealed = link.data.send(body)
+            except SecurityViolation as refused:
+                self._note_failure(picked, f"seal failed: {refused}")
+                return None
             self.net.send(self.name, picked, encode_message(
-                {"kind": "request", "record_hex": sealed.hex()}))
+                {"kind": "request", "request_id": request_id,
+                 "record_hex": sealed.hex()}))
             replica.pump()
-            _src, wire = self.net.recv(self.name)
-            reply = decode_message(wire)
+            reply = self._reply_for(request_id, picked)
+            if reply is None:
+                self._note_failure(picked, "no reply")
+                return None
             if reply.get("status") != "ok":
-                raise SimulationError(
-                    f"replica {picked} refused request: {reply}")
-            service_cycles = replica.ledger.total - before
-            result = link.data.receive(bytes.fromhex(reply["record_hex"]))
+                self._note_failure(
+                    picked, str(reply.get("reason", "refused")))
+                return None
+            try:
+                result = link.data.receive(
+                    bytes.fromhex(reply["record_hex"]))
+            except (KeyError, ValueError) as malformed:
+                self._note_failure(picked,
+                                   f"malformed reply: {malformed}")
+                return None
+            except SecurityViolation as tampered:
+                self._note_failure(picked,
+                                   f"tampered reply: {tampered}")
+                return None
+            return result, replica.ledger.total - before
+
+    def _reply_for(self, request_id: int, picked: str) -> dict | None:
+        """Drain this host's inbox for ``picked``'s reply to this attempt.
+
+        Anything else in the inbox -- duplicated replies, delayed
+        replies from a *different* replica tried earlier (same
+        ``request_id``, wrong seal), late replies to requests that
+        already completed, fabric garbage -- is discarded (and
+        counted): the front end trusts only the sealed record inside a
+        matching reply, never the envelope.
+        """
+        matched = None
+        while self.net.pending(self.name):
+            src, wire = self.net.recv(self.name)
+            message = try_decode(wire)
+            if message is not None and matched is None and \
+                    src == picked and \
+                    message.get("request_id") == request_id:
+                matched = message
+            else:
+                self.tracer.metrics.count("frontend_discarded",
+                                          "stale" if message is not None
+                                          else "garbage")
+        return matched
+
+    def _complete(self, picked: str, service_cycles: int) -> None:
+        """Success bookkeeping: schedule horizon, counters, metrics."""
+        self.health[picked].strikes = 0
         now = self.ledger.total
         start = max(now, self.busy_until.get(picked, 0))
         self.busy_until[picked] = start + service_cycles
@@ -199,7 +407,6 @@ class FrontEnd:
         self.tracer.metrics.count("cluster_route", picked)
         self.tracer.metrics.observe("service_cycles", picked,
                                     service_cycles)
-        return result
 
     # -- schedule accounting ---------------------------------------------
 

@@ -41,6 +41,21 @@ def decode_message(wire: bytes) -> dict:
     return json.loads(wire.decode("utf-8"))
 
 
+def try_decode(wire: bytes) -> dict | None:
+    """Decode a fabric message, or ``None`` if it is not well-formed.
+
+    The fabric is untrusted: under fault injection (or a real bit-flip)
+    a message may arrive as arbitrary bytes.  Endpoints use this instead
+    of :func:`decode_message` on any receive path that must survive
+    garbage rather than crash the simulation.
+    """
+    try:
+        message = json.loads(wire.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return message if isinstance(message, dict) else None
+
+
 @dataclass(frozen=True)
 class NetCostModel:
     """Cycle costs of one inter-host message at the 3 GHz nominal clock.

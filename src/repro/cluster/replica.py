@@ -36,8 +36,8 @@ from ..workloads.audit_programs import (MEMCACHED_COMPUTE_PER_OP,
 from ..workloads.base import NativeApi
 from ..workloads.programs import (SQLITE_COMPUTE_PER_INSERT,
                                   SQLITE_JOURNAL_BYTES, SQLITE_ROW_BYTES)
-from .attest import derive_data_key
-from .net import InterHostNetwork, decode_message, encode_message
+from .attest import CHANNEL_WINDOW, derive_data_key
+from .net import InterHostNetwork, encode_message, try_decode
 
 if typing.TYPE_CHECKING:
     from ..trace.tracer import Tracer
@@ -47,6 +47,12 @@ REPLICA_PORT = 11311
 
 #: Replica workload models available to the fleet.
 WORKLOADS = ("memcached", "sqlite")
+
+#: Completed requests remembered for idempotent re-execution (per
+#: replica).  Retries arrive within a handful of requests of the
+#: original; 512 comfortably covers every retry window while bounding
+#: memory on long runs.
+IDEMPOTENCY_CACHE_ENTRIES = 512
 
 
 class BackdoorService(ProtectedService):
@@ -105,6 +111,13 @@ class ClusterReplica:
         #: Data-plane channel endpoint, provisioned at handshake time.
         self.data_channel: SecureChannel | None = None
         self.requests_served = 0
+        #: False while crashed (fault injection): the replica neither
+        #: pumps its inbox nor keeps volatile channel state.
+        self.alive = True
+        self.crashes = 0
+        #: request_id -> served result, for idempotent re-execution of
+        #: retried requests (bounded FIFO).
+        self._completed: dict[int, dict] = {}
         self._setup_service()
 
     # -- convenience accessors ------------------------------------------
@@ -171,7 +184,39 @@ class ClusterReplica:
             raise SecurityViolation(
                 "data channel requires an established user channel")
         self.data_channel = SecureChannel(derive_data_key(channel.key),
-                                          role="responder")
+                                          role="responder",
+                                          window=CHANNEL_WINDOW)
+
+    # -- crash / restart (fault injection) -------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this replica mid-flight.
+
+        Volatile state dies with the CVM: the pending inbox is gone and
+        so is the provisioned data channel -- after a restart the
+        replica refuses sealed traffic until the relying party runs a
+        fresh re-attestation handshake.
+        """
+        self.alive = False
+        self.crashes += 1
+        self.data_channel = None
+        self.net.endpoint(self.name).inbox.clear()
+        self.tracer.instant("chaos", "replica_crash",
+                            args={"replica": self.name})
+        self.tracer.metrics.count("chaos_crash", self.name)
+
+    def restart(self) -> None:
+        """Bring a crashed replica back (still unattested until healed).
+
+        Messages the fabric delivered while the host was down are lost
+        with it -- a rebooted machine does not replay its dead NIC's
+        queue.
+        """
+        self.alive = True
+        self.net.endpoint(self.name).inbox.clear()
+        self.tracer.instant("chaos", "replica_restart",
+                            args={"replica": self.name})
+        self.tracer.metrics.count("chaos_restart", self.name)
 
     # -- fabric message pump --------------------------------------------
 
@@ -181,12 +226,20 @@ class ClusterReplica:
         The in-CVM path models the untrusted OS receiving fabric bytes
         and either relaying control requests to VeilMon / DomSER or
         dispatching sealed data records to the service replica.
-        Returns the number of messages handled.
+        Returns the number of messages handled.  A crashed replica
+        handles nothing; fabric garbage (bit-flipped envelopes) is
+        dropped without a reply.
         """
+        if not self.alive:
+            return 0
         handled = 0
         while self.net.pending(self.name):
             src, wire = self.net.recv(self.name)
-            message = decode_message(wire)
+            message = try_decode(wire)
+            if message is None:
+                self.tracer.metrics.count("replica_garbage_dropped",
+                                          self.name)
+                continue
             reply = self._dispatch(message)
             self.net.send(self.name, src, encode_message(reply))
             handled += 1
@@ -204,30 +257,67 @@ class ClusterReplica:
             self.provision_data_channel()
             return reply
         if kind == "log_export":
-            return gateway.call_service(self.core, {
-                "op": "log_export", "start": int(message.get("start", 0))})
+            try:
+                start = int(message.get("start", 0))
+            except (TypeError, ValueError):
+                return {"status": "error", "reason": "malformed start"}
+            reply = gateway.call_service(self.core, {
+                "op": "log_export", "start": start})
+            # Echo the chunk offset so the auditor can match retried
+            # chunk replies to the request they answer.
+            return dict(reply, start=start)
         if kind == "request":
-            return self._handle_request(bytes.fromhex(
-                message["record_hex"]))
+            request_id = message.get("request_id")
+            try:
+                sealed = bytes.fromhex(message.get("record_hex", ""))
+            except ValueError:
+                return {"status": "error", "request_id": request_id,
+                        "reason": "malformed record"}
+            reply = self._handle_request(sealed)
+            reply["request_id"] = request_id
+            return reply
         return {"status": "error", "reason": f"unknown kind {kind!r}"}
 
     # -- the service replica --------------------------------------------
 
     def _handle_request(self, sealed: bytes) -> dict:
-        """Unseal one data record, serve it, and seal the response."""
+        """Unseal one data record, serve it, and seal the response.
+
+        Tampered, replayed, or out-of-window records are refused (the
+        channel's verdict travels back as an error envelope; the sealed
+        payload is never half-trusted).  A request id that already
+        completed is served from the idempotency cache without
+        re-executing the workload -- that is what makes front-end
+        retries safe when only the *reply* was lost.
+        """
         if self.data_channel is None:
             return {"status": "error", "reason": "no attested channel"}
         cost = self.machine.cost
         self.ledger.charge("crypto", cost.cipher_cost(len(sealed)))
-        request = self.data_channel.receive(sealed)   # raises on tamper
-        with self.tracer.span("cluster", f"serve:{self.workload}",
-                              vcpu=self.core.cpu_index,
-                              args={"replica": self.name}):
-            if self.workload == "memcached":
-                result = self._serve_memcached(request)
-            else:
-                result = self._serve_sqlite(request)
-        self.requests_served += 1
+        try:
+            request = self.data_channel.receive(sealed)
+        except SecurityViolation as refused:
+            self.tracer.metrics.count("replica_refused", self.name)
+            return {"status": "error", "reason": f"channel: {refused}"}
+        request_id = request.get("request_id")
+        cached = self._completed.get(request_id) \
+            if request_id is not None else None
+        if cached is not None:
+            self.tracer.metrics.count("idempotent_replay", self.name)
+            result = cached
+        else:
+            with self.tracer.span("cluster", f"serve:{self.workload}",
+                                  vcpu=self.core.cpu_index,
+                                  args={"replica": self.name}):
+                if self.workload == "memcached":
+                    result = self._serve_memcached(request)
+                else:
+                    result = self._serve_sqlite(request)
+            self.requests_served += 1
+            if request_id is not None:
+                self._completed[request_id] = result
+                while len(self._completed) > IDEMPOTENCY_CACHE_ENTRIES:
+                    self._completed.pop(next(iter(self._completed)))
         response = self.data_channel.send(result)
         self.ledger.charge("crypto", cost.cipher_cost(len(response)))
         return {"status": "ok", "record_hex": response.hex()}

@@ -11,15 +11,17 @@ secrets) because no third-party crypto package is available offline:
 * :mod:`~repro.crypto.channel` -- replay-protected secure channel.
 """
 
-from .channel import SecureChannel, channel_pair
-from .cipher import (KEY_BYTES, NONCE_BYTES, TAG_BYTES, generate_key,
-                     nonce_from_counter, open_sealed, seal, stream_xor)
+from .channel import MAX_SEQUENCE, SecureChannel, channel_pair
+from .cipher import (KEY_BYTES, MAX_NONCE_COUNTER, NONCE_BYTES, TAG_BYTES,
+                     generate_key, nonce_from_counter, open_sealed, seal,
+                     stream_xor)
 from .dh import DhKeyPair
 from .hashes import MeasurementChain, page_measurement, sha256, sha256_hex
 from .rsa import RsaKeyPair, RsaPublicKey, generate_keypair
 
 __all__ = [
-    "SecureChannel", "channel_pair", "KEY_BYTES", "NONCE_BYTES",
+    "SecureChannel", "channel_pair", "MAX_SEQUENCE", "MAX_NONCE_COUNTER",
+    "KEY_BYTES", "NONCE_BYTES",
     "TAG_BYTES", "generate_key", "nonce_from_counter", "open_sealed",
     "seal", "stream_xor", "DhKeyPair", "MeasurementChain",
     "page_measurement", "sha256", "sha256_hex", "RsaKeyPair",

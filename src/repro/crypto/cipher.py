@@ -79,6 +79,22 @@ def open_sealed(key: bytes, nonce: bytes, sealed: bytes,
     return stream_xor(key, nonce, ct)
 
 
+#: Largest counter representable in a :data:`NONCE_BYTES` nonce.  A
+#: counter past this would wrap the nonce space and reuse keystream.
+MAX_NONCE_COUNTER = (1 << (8 * NONCE_BYTES)) - 1
+
+
 def nonce_from_counter(counter: int) -> bytes:
-    """Deterministic nonce derived from a freshness counter."""
+    """Deterministic nonce derived from a freshness counter.
+
+    Counter exhaustion is a security event, not an arithmetic accident:
+    a counter outside ``[0, MAX_NONCE_COUNTER]`` would alias an earlier
+    nonce (or is plainly invalid), so it raises
+    :class:`SecurityViolation` rather than escaping as a bare
+    ``OverflowError`` from ``int.to_bytes``.
+    """
+    if not 0 <= counter <= MAX_NONCE_COUNTER:
+        raise SecurityViolation(
+            f"nonce counter {counter} outside the {NONCE_BYTES}-byte "
+            "nonce space (sequence exhausted?)")
     return counter.to_bytes(NONCE_BYTES, "little")

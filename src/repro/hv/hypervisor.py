@@ -122,6 +122,13 @@ class Hypervisor:
         self.interrupt_return_hook = None
         # ---- attack knobs (section 8) -------------------------------------
         self.refuse_interrupt_relay = False
+        #: Byzantine-hypervisor knob (veil-chaos): corrupt the next N
+        #: attestation-report replies written back through the GHCB.
+        #: The PSP signature no longer verifies, so the relying party
+        #: detects the tampering and refuses the handshake.
+        self.corrupt_ghcb_replies = 0
+        #: Attestation replies corrupted so far (detection accounting).
+        self.ghcb_replies_corrupted = 0
         self.exit_log = ExitLog()
 
     # ------------------------------------------------------------------
@@ -324,12 +331,24 @@ class Hypervisor:
             report = self.psp.attestation_report(
                 requester_vmpl=exited.vmpl,
                 report_data=bytes.fromhex(message["report_data_hex"]))
+            signature = report.signature
+            if self.corrupt_ghcb_replies > 0:
+                # Byzantine mode: the untrusted VMM flips a bit in the
+                # PSP's signature on the way back through shared memory.
+                # It cannot forge a valid one, so verification fails at
+                # the relying party -- tampering is detected, never
+                # silently trusted.
+                self.corrupt_ghcb_replies -= 1
+                self.ghcb_replies_corrupted += 1
+                signature = bytes([signature[0] ^ 0x01]) + signature[1:]
+                self.machine.tracer.metrics.count("ghcb_corrupted",
+                                                  "attestation_report")
             ghcb.write_message(self.machine.memory, {
                 "status": "ok",
                 "measurement_hex": report.measurement.hex(),
                 "requester_vmpl": report.requester_vmpl,
                 "report_data_hex": report.report_data.hex(),
-                "signature_hex": report.signature.hex(),
+                "signature_hex": signature.hex(),
             })
             self._resume_same(core, exited)
 
@@ -377,6 +396,27 @@ class Hypervisor:
             if self.interrupt_return_hook is not None:
                 self.interrupt_return_hook(core)
             # Kernel done; world-switch back into the enclave instance.
+            self.machine.ledger.charge("domain_switch",
+                                       self.machine.cost.vmgexit)
+            core.hw_exit()
+            self._enter(core, exited)
+
+    def inject_spurious_exit(self, core: "VirtualCpu") -> None:
+        """Byzantine-hypervisor knob: force a gratuitous exit/resume.
+
+        A malicious VMM can always bounce a running instance through an
+        exit it invented -- it costs the guest a world-switch round trip
+        (charged to the ``domain_switch`` ledger category like any other
+        exit) but reveals nothing and corrupts nothing: the VMSA is
+        integrity-protected, so the instance resumes exactly where it
+        was.  No-op if the core has no running instance.
+        """
+        exited = core.instance
+        if exited is None:
+            return
+        self.exit_log.append(f"auto:spurious:vmpl{exited.vmpl}")
+        self.machine.tracer.metrics.count("auto_exit", "spurious")
+        with self.trace_span(core, exited, "auto:spurious"):
             self.machine.ledger.charge("domain_switch",
                                        self.machine.cost.vmgexit)
             core.hw_exit()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import KernelError
@@ -56,7 +57,9 @@ class Socket:
         self.stype = stype
         self.state = SocketState.NEW
         self.addr: tuple[str, int] | None = None
-        self.backlog: list["Socket"] = []
+        #: Pending connections, accepted in FIFO order (popleft, not the
+        #: O(n) ``list.pop(0)`` this used to be).
+        self.backlog: deque["Socket"] = deque()
         self.backlog_limit = 0
         self.endpoint: Endpoint | None = None
         self.peer: "Socket | None" = None
@@ -148,7 +151,7 @@ class NetworkStack:
             raise KernelError(EINVAL, "accept on non-listening socket")
         if not listener.backlog:
             raise KernelError(11, "EAGAIN: no pending connection")
-        return listener.backlog.pop(0)
+        return listener.backlog.popleft()
 
     def socketpair(self, family: int = AF_UNIX,
                    stype: int = SOCK_STREAM) -> tuple[Socket, Socket]:

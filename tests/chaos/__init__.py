@@ -1,0 +1,1 @@
+"""veil-chaos: fault-injection, recovery, and invariant tests."""

@@ -1,0 +1,94 @@
+"""Unit tests: the fault-injecting fabric view."""
+
+from repro.chaos import ChaoticNetwork, FaultPlan, FaultProfile
+from repro.cluster import InterHostNetwork
+from repro.hw.cycles import CycleLedger
+
+
+def attach_pair(net):
+    a, b = CycleLedger(), CycleLedger()
+    net.attach("a", a)
+    net.attach("b", b)
+    return a, b
+
+
+def active_net(profile):
+    plan = FaultPlan(9, profile)
+    plan.activate()
+    net = ChaoticNetwork(plan)
+    ledgers = attach_pair(net)
+    return net, plan, ledgers
+
+
+class TestPassthrough:
+    def test_no_plan_matches_plain_fabric(self):
+        plain, wrapped = InterHostNetwork(), ChaoticNetwork(plan=None)
+        pa, pb = attach_pair(plain)
+        wa, wb = attach_pair(wrapped)
+        for i in range(16):
+            plain.send("a", "b", b"msg%d" % i)
+            wrapped.send("a", "b", b"msg%d" % i)
+        assert (pa.total, pb.total) == (wa.total, wb.total)
+        while plain.pending("b"):
+            assert plain.recv("b") == wrapped.recv("b")
+
+    def test_inactive_plan_matches_plain_fabric(self):
+        plain = InterHostNetwork()
+        wrapped = ChaoticNetwork(plan=FaultPlan(3, "mayhem"))
+        pa, pb = attach_pair(plain)
+        wa, wb = attach_pair(wrapped)
+        for i in range(16):
+            plain.send("a", "b", b"msg%d" % i)
+            wrapped.send("a", "b", b"msg%d" % i)
+        assert (pa.total, pb.total) == (wa.total, wb.total)
+        assert wrapped.plan.events == []
+
+    def test_snoop_records_every_message(self):
+        net = ChaoticNetwork(plan=None)
+        attach_pair(net)
+        net.send("a", "b", b"one")
+        net.send("b", "a", b"two")
+        assert net.snooped == [("a", "b", b"one"), ("b", "a", b"two")]
+
+
+class TestInjection:
+    def test_drop_never_arrives_sender_still_pays(self):
+        net, plan, (a, b) = active_net(FaultProfile("d", drop=1.0))
+        net.send("a", "b", b"lost")
+        assert net.pending("b") == 0
+        assert a.total == net.cost.message_cost(len(b"lost"))
+        assert b.total == 0
+        assert plan.events[0][1] == "drop"
+
+    def test_duplicate_arrives_twice(self):
+        net, _plan, _ = active_net(FaultProfile("2x", duplicate=1.0))
+        net.send("a", "b", b"twin")
+        assert net.pending("b") == 2
+        assert net.recv("b") == net.recv("b") == ("a", b"twin")
+
+    def test_corrupt_changes_payload_not_length(self):
+        net, _plan, _ = active_net(FaultProfile("flip", corrupt=1.0))
+        net.send("a", "b", b"A" * 32)
+        _src, wire = net.recv("b")
+        assert wire != b"A" * 32 and len(wire) == 32
+
+    def test_delay_reorders_past_later_sends(self):
+        net, plan, _ = active_net(FaultProfile("late", delay=1.0))
+        net.send("a", "b", b"early")
+        assert net.pending("b") == 0       # held, not delivered
+        plan.deactivate()
+        for i in range(4):                 # later traffic releases it
+            net.send("a", "b", b"filler%d" % i)
+        received = []
+        while net.pending("b"):
+            received.append(net.recv("b")[1])
+        assert b"early" in received
+        assert received[0] != b"early"     # it really was reordered
+
+    def test_flush_held_releases_everything(self):
+        net, plan, _ = active_net(FaultProfile("late", delay=1.0))
+        net.send("a", "b", b"held")
+        assert net.pending("b") == 0
+        assert net.flush_held() == 1
+        assert net.recv("b") == ("a", b"held")
+        assert net.flush_held() == 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import (InterHostNetwork, NetCostModel, decode_message,
-                           encode_message)
+                           encode_message, try_decode)
 from repro.errors import SimulationError
 from repro.hw.cycles import CycleLedger
 
@@ -62,6 +62,25 @@ class TestDelivery:
             net.attach("a", CycleLedger())
 
 
+class TestTryDecode:
+    """The forgiving decoder chaos-exposed receive paths rely on."""
+
+    def test_valid_message_roundtrips(self):
+        payload = {"kind": "request", "n": 1}
+        assert try_decode(encode_message(payload)) == payload
+
+    def test_garbage_bytes_return_none(self):
+        assert try_decode(b"\xff\xfe not json at all") is None
+
+    def test_non_dict_json_returns_none(self):
+        assert try_decode(b"[1, 2, 3]") is None
+        assert try_decode(b'"just a string"') is None
+
+    def test_truncated_message_returns_none(self):
+        wire = encode_message({"kind": "request"})
+        assert try_decode(wire[:len(wire) // 2]) is None
+
+
 class TestCostAccounting:
     def test_both_endpoints_charged(self, net):
         a, b = attach_pair(net)
@@ -75,6 +94,13 @@ class TestCostAccounting:
         cost = NetCostModel(latency_cycles=100, per_byte_x1000=2000)
         assert cost.message_cost(0) == 100
         assert cost.message_cost(500) == 100 + 1000
+
+    def test_zero_length_payload_costs_latency_only(self):
+        """An empty message still pays the fixed wire latency under
+        the default model -- the per-byte term contributes nothing."""
+        cost = NetCostModel()
+        assert cost.message_cost(0) == cost.latency_cycles
+        assert cost.message_cost(0) > 0
 
     def test_traffic_counters(self, net):
         attach_pair(net)

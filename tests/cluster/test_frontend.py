@@ -51,6 +51,26 @@ class TestPolicies:
                 moved += 1
         assert moved == 0
 
+    def test_consistent_hash_bisect_matches_linear_scan(self):
+        """The ring lookup is a binary search now; pin its choice to
+        the linear-scan reference for a whole key corpus so the
+        speedup can never silently re-home keys."""
+        from repro.crypto import sha256
+        policy = ConsistentHash()
+        policy._rebuild(CANDIDATES)
+
+        def reference(key):
+            point = sha256(key.encode())
+            for position, name in policy._ring:    # the old linear scan
+                if position >= point:
+                    return name
+            return policy._ring[0][1]
+
+        for i in range(200):
+            key = f"user{i}"
+            assert policy.choose({"key": key}, CANDIDATES, {}) == \
+                reference(key), key
+
     def test_make_policy_registry(self):
         assert isinstance(make_policy("round-robin"), RoundRobin)
         with pytest.raises(SimulationError):

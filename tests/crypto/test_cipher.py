@@ -74,3 +74,21 @@ class TestSeal:
     def test_seal_roundtrip_property(self, data, aad):
         sealed = cipher.seal(KEY, NONCE, data, aad=aad)
         assert cipher.open_sealed(KEY, NONCE, sealed, aad=aad) == data
+
+
+class TestNonceCounterBounds:
+    """Satellite fix: an out-of-range counter raises SecurityViolation
+    instead of escaping as a bare OverflowError from ``to_bytes``."""
+
+    def test_counter_past_nonce_space_rejected(self):
+        with pytest.raises(SecurityViolation):
+            cipher.nonce_from_counter(cipher.MAX_NONCE_COUNTER + 1)
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(SecurityViolation):
+            cipher.nonce_from_counter(-1)
+
+    def test_boundary_counters_accepted(self):
+        assert cipher.nonce_from_counter(0) == b"\x00" * cipher.NONCE_BYTES
+        assert cipher.nonce_from_counter(cipher.MAX_NONCE_COUNTER) == \
+            b"\xff" * cipher.NONCE_BYTES

@@ -107,6 +107,78 @@ class TestSecureChannel:
             SecureChannel(generate_key(), role="middlebox")
 
 
+class TestWindowedChannel:
+    """The DTLS-style sliding-window mode the fleet links opt into."""
+
+    def test_out_of_order_within_window_accepted(self):
+        user, monitor = channel_pair(generate_key(), window=8)
+        first = user.send({"n": 0})
+        second = user.send({"n": 1})
+        assert monitor.receive(second) == {"n": 1}
+        assert monitor.receive(first) == {"n": 0}
+
+    def test_gaps_from_drops_accepted(self):
+        user, monitor = channel_pair(generate_key(), window=8)
+        user.send({"n": 0})                      # lost in flight
+        user.send({"n": 1})                      # lost in flight
+        assert monitor.receive(user.send({"n": 2})) == {"n": 2}
+
+    def test_replay_within_window_rejected(self):
+        user, monitor = channel_pair(generate_key(), window=8)
+        wire = user.send({"n": 0})
+        monitor.receive(wire)
+        monitor.receive(user.send({"n": 1}))
+        with pytest.raises(SecurityViolation):
+            monitor.receive(wire)
+
+    def test_record_behind_window_rejected(self):
+        user, monitor = channel_pair(generate_key(), window=4)
+        stale = user.send({"n": 0})              # never delivered...
+        for n in range(1, 8):
+            monitor.receive(user.send({"n": n}))
+        with pytest.raises(SecurityViolation):   # ...until too late
+            monitor.receive(stale)
+
+    def test_tampering_still_detected(self):
+        user, monitor = channel_pair(generate_key(), window=8)
+        wire = bytearray(user.send({"cmd": "x"}))
+        wire[-1] ^= 1
+        with pytest.raises(SecurityViolation):
+            monitor.receive(bytes(wire))
+
+    def test_failed_receive_does_not_advance_window(self):
+        """A forged record must not burn the counter it claims."""
+        user, monitor = channel_pair(generate_key(), window=8)
+        wire = user.send({"n": 0})
+        forged = bytearray(wire)
+        forged[-1] ^= 1
+        with pytest.raises(SecurityViolation):
+            monitor.receive(bytes(forged))
+        assert monitor.receive(wire) == {"n": 0}   # genuine one still OK
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel(generate_key(), role="initiator", window=-1)
+
+
+class TestSequenceExhaustion:
+    """Satellite fix: counter exhaustion is a SecurityViolation, not a
+    bare OverflowError escaping from ``int.to_bytes``."""
+
+    def test_send_beyond_sequence_space_refused(self):
+        from repro.crypto import MAX_SEQUENCE
+        user, _ = channel_pair(generate_key())
+        user._send_seq = MAX_SEQUENCE + 1
+        with pytest.raises(SecurityViolation):
+            user.send({"cmd": "one too many"})
+
+    def test_last_valid_sequence_still_sends(self):
+        from repro.crypto import MAX_SEQUENCE
+        user, _ = channel_pair(generate_key())
+        user._send_seq = MAX_SEQUENCE
+        assert user.send({"cmd": "final"})
+
+
 class TestChannelHardening:
     """Replay/reorder/truncation and cross-link key isolation."""
 

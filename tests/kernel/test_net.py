@@ -135,6 +135,19 @@ class TestBacklogEnforcement:
         # Draining the backlog makes room for the next connection.
         net.connect(net.socket(AF_INET, SOCK_STREAM), "0.0.0.0", 80)
 
+    def test_accept_order_is_fifo_under_full_backlog(self, net):
+        """Satellite fix: the backlog is a deque drained with popleft,
+        so connections are accepted in arrival order even when the
+        queue is filled to capacity before the first accept."""
+        server = net.socket(AF_INET, SOCK_STREAM)
+        net.bind(server, "0.0.0.0", 80)
+        net.listen(server, 4)
+        clients = [net.socket(AF_INET, SOCK_STREAM) for _ in range(4)]
+        for client in clients:
+            net.connect(client, "0.0.0.0", 80)
+        accepted = [net.accept(server) for _ in range(4)]
+        assert [conn.peer for conn in accepted] == clients
+
 
 class TestClosedSocketOps:
     def test_send_after_close_is_enotconn(self, net):

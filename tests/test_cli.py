@@ -12,7 +12,7 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "cluster", "lint", "trace",
+                                    "cluster", "chaos", "lint", "trace",
                                     "turbo", "profile",
                                     "export", "ablations", "all"}
 
@@ -53,6 +53,14 @@ class TestCommands:
               "--tampered", "1"])
         out = capsys.readouterr().out
         assert "REJECTED" in out
+
+    def test_chaos(self, capsys):
+        main(["chaos", "--seed", "5", "--schedule", "crash",
+              "--requests", "24"])
+        out = capsys.readouterr().out
+        assert "veil-chaos" in out
+        assert "replayable from the seed" in out
+        assert "no plaintext" in out and "audit chains OK" in out
 
     def test_lint_clean_tree(self, capsys):
         main(["lint"])

@@ -1,0 +1,65 @@
+"""Parity: a chaos-wrapped fabric with injection off changes nothing.
+
+The determinism contract for veil-chaos: wrapping the fleet's fabric in
+:class:`ChaoticNetwork` must be invisible until a plan activates --
+cycle ledgers and the exported Chrome trace stay byte-identical to an
+unwrapped run.  This is what makes chaos runs comparable to clean
+baselines (and what guarantees merely *shipping* the chaos layer never
+perturbs results).
+"""
+
+from repro.chaos import ChaoticNetwork, FaultPlan
+from repro.cluster import ClusterConfig, ClusterFleet, run_cluster
+from repro.trace import Tracer
+from repro.trace.export import dumps_chrome_trace
+
+CONFIG = dict(replicas=2, requests=16, keyspace=4)
+
+
+def run_plain():
+    tracer = Tracer()
+    result = run_cluster(ClusterConfig(**CONFIG), tracer=tracer)
+    return result, tracer
+
+
+def run_wrapped(plan, activate_for_drive=False):
+    tracer = Tracer()
+    config = ClusterConfig(**CONFIG)
+    net = ChaoticNetwork(plan, cost=config.net_cost, tracer=tracer)
+    fleet = ClusterFleet(config, tracer=tracer, net=net)
+    fleet.attest_all()
+    fleet.frontend.reset_schedule()
+    if activate_for_drive:
+        plan.activate()
+    fleet.drive(config.requests)
+    if activate_for_drive:
+        plan.deactivate()
+        net.flush_held()
+        fleet.frontend.heal_quarantined()
+    audit = fleet.audit_all()
+    return fleet.result(audit), tracer
+
+
+class TestChaosParity:
+    def test_no_plan_is_byte_identical(self):
+        plain, tracer_a = run_plain()
+        wrapped, tracer_b = run_wrapped(None)
+        assert dumps_chrome_trace(tracer_a) == dumps_chrome_trace(tracer_b)
+        assert plain.replica_cycles == wrapped.replica_cycles
+        assert plain.frontend_cycles == wrapped.frontend_cycles
+        assert plain.routed_by_replica == wrapped.routed_by_replica
+
+    def test_inactive_plan_is_byte_identical(self):
+        plain, tracer_a = run_plain()
+        wrapped, tracer_b = run_wrapped(FaultPlan(99, "mayhem"))
+        assert dumps_chrome_trace(tracer_a) == dumps_chrome_trace(tracer_b)
+        assert plain.replica_cycles == wrapped.replica_cycles
+        assert plain.frontend_cycles == wrapped.frontend_cycles
+
+    def test_active_plan_diverges(self):
+        """Sanity check the parity test has teeth: an *active* plan
+        actually perturbs the run."""
+        plain, tracer_a = run_plain()
+        wrapped, tracer_b = run_wrapped(FaultPlan(99, "mayhem"),
+                                        activate_for_drive=True)
+        assert dumps_chrome_trace(tracer_a) != dumps_chrome_trace(tracer_b)

@@ -26,16 +26,36 @@ violations -- e.g. the section-8 attack suite, whose entire point is to
 poke at protected state -- carry inline suppressions of the form
 ``# veil-lint: allow(<rule>) -- <reason>``; a suppression without a
 justification is itself a finding.
+
+veil-flow (``repro flow``) extends the structural lint with
+whole-program analysis: an interprocedural call graph
+(:mod:`repro.analysis.callgraph`), a summary-based taint engine
+(:mod:`repro.analysis.flow`), and the flow rule family
+(:mod:`repro.analysis.flowrules`: ``secret-flow``, ``determinism``,
+``set-iteration``).  Accepted flows live in the checked-in
+``FLOW_BASELINE.json`` with written justifications
+(:mod:`repro.analysis.baseline`).
 """
 
+from .baseline import (Baseline, BaselineEntry, apply_baseline,
+                       baseline_from_report, find_baseline)
+from .callgraph import CallGraph, CallSite, FunctionInfo
 from .engine import (AnalysisReport, Analyzer, Finding, Severity,
-                     Suppression, run_analysis)
+                     Suppression, registered_rule_names, run_analysis)
+from .flow import (FlowEngine, FlowFinding, FlowSpec, SECRET_FLOW_SPEC,
+                   SinkSpec, SourceSpec, analyze_flows)
+from .flowrules import FLOW_RULES, flow_rule_names
 from .graph import Import, Module, PackageIndex
-from .report import render_json, render_text
+from .report import render_json, render_sarif, render_text
 from .rules import ALL_RULES, Rule, rule_names
 
 __all__ = [
-    "ALL_RULES", "AnalysisReport", "Analyzer", "Finding", "Import",
-    "Module", "PackageIndex", "Rule", "Severity", "Suppression",
-    "render_json", "render_text", "rule_names", "run_analysis",
+    "ALL_RULES", "AnalysisReport", "Analyzer", "Baseline",
+    "BaselineEntry", "CallGraph", "CallSite", "FLOW_RULES", "Finding",
+    "FlowEngine", "FlowFinding", "FlowSpec", "FunctionInfo", "Import",
+    "Module", "PackageIndex", "Rule", "SECRET_FLOW_SPEC", "Severity",
+    "SinkSpec", "SourceSpec", "Suppression", "analyze_flows",
+    "apply_baseline", "baseline_from_report", "find_baseline",
+    "flow_rule_names", "registered_rule_names", "render_json",
+    "render_sarif", "render_text", "rule_names", "run_analysis",
 ]

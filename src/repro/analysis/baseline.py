@@ -1,0 +1,185 @@
+"""Checked-in flow baseline: justified, line-independent suppressions.
+
+Inline ``# veil-lint: allow(...)`` comments suit one-off structural
+waivers, but flow findings are properties of whole call chains -- the
+natural unit of suppression is *the flow*, not a source line.  The
+baseline file (``FLOW_BASELINE.json`` at the repo root) records each
+accepted finding by a line-number-free fingerprint::
+
+    {"rule": "determinism",
+     "path": "crypto/rsa.py",
+     "message": "nondeterministic call secrets.randbits in layer 'crypto'",
+     "justification": "key generation entropy; never reaches a ledger"}
+
+* the fingerprint is ``(rule, package-relative path, message)`` -- flow
+  rule messages deliberately omit line numbers, so the entry survives
+  unrelated edits to the file;
+* one entry covers every finding with the same fingerprint (both
+  ``secrets.randbits`` calls in ``rsa.py`` are one decision);
+* an empty or ``TODO``-prefixed justification suppresses nothing: the
+  update helper (``tools/update_flow_baseline.py``) stamps new entries
+  with ``TODO`` precisely so an unreviewed refresh still fails CI;
+* an entry that matches no finding becomes a ``flow-baseline`` warning
+  (stale baseline), mirroring the stale-allow hygiene check.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .engine import AnalysisReport, Finding, Severity, default_root
+
+BASELINE_FILENAME = "FLOW_BASELINE.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding, keyed by its line-free fingerprint."""
+
+    rule: str
+    path: str            # package-relative, forward slashes
+    message: str
+    justification: str
+    used: bool = False
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    @property
+    def effective(self) -> bool:
+        """Whether the justification actually counts."""
+        text = self.justification.strip()
+        return bool(text) and not text.upper().startswith("TODO")
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the on-disk entry shape)."""
+        return {"rule": self.rule, "path": self.path,
+                "message": self.message,
+                "justification": self.justification}
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: list[BaselineEntry]
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        entries = [BaselineEntry(
+            rule=e["rule"], path=e["path"], message=e["message"],
+            justification=e.get("justification", ""))
+            for e in data.get("findings", [])]
+        return cls(entries=entries, path=Path(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    def save(self, path: Path) -> None:
+        """Write the baseline to ``path``, entries sorted for diffing."""
+        entries = sorted(self.entries, key=lambda e: e.fingerprint)
+        Path(path).write_text(json.dumps(
+            {"version": 1,
+             "findings": [e.as_dict() for e in entries]},
+            indent=2) + "\n")
+
+
+def find_baseline(start: Path | None = None) -> Path | None:
+    """Locate ``FLOW_BASELINE.json``: cwd upwards, then the repo root."""
+    candidates: list[Path] = []
+    here = Path.cwd() if start is None else Path(start)
+    candidates.extend(parent / BASELINE_FILENAME
+                      for parent in [here, *here.parents])
+    candidates.append(default_root().parents[1] / BASELINE_FILENAME)
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def relative_finding_path(finding_path: str, root: str) -> str:
+    """``finding.path`` relative to the analyzed root, '/'-separated."""
+    try:
+        rel = Path(finding_path).resolve().relative_to(
+            Path(root).resolve())
+    except ValueError:
+        rel = Path(finding_path)
+    return rel.as_posix()
+
+
+def apply_baseline(report: AnalysisReport,
+                   baseline: Baseline) -> AnalysisReport:
+    """Suppress baselined findings; warn about stale entries.
+
+    Returns a new report: findings whose ``(rule, relative path,
+    message)`` fingerprint matches an *effective* entry become
+    suppressed with the entry's justification; entries matching nothing
+    surface as ``flow-baseline`` warnings so the baseline cannot rot.
+    """
+    by_fingerprint: dict[tuple[str, str, str], BaselineEntry] = {
+        entry.fingerprint: entry for entry in baseline.entries}
+    findings: list[Finding] = []
+    for finding in report.findings:
+        entry = by_fingerprint.get((
+            finding.rule,
+            relative_finding_path(finding.path, report.root),
+            finding.message))
+        if entry is not None and not finding.suppressed:
+            entry.used = True
+            if entry.effective:
+                finding = Finding(
+                    rule=finding.rule, severity=finding.severity,
+                    path=finding.path, line=finding.line,
+                    message=finding.message, suppressed=True,
+                    suppress_reason=f"baseline: {entry.justification}")
+        findings.append(finding)
+    baseline_path = str(baseline.path) if baseline.path else "<baseline>"
+    for entry in baseline.entries:
+        if entry.used:
+            continue
+        findings.append(Finding(
+            rule="flow-baseline", severity=Severity.WARNING,
+            path=baseline_path, line=1,
+            message=f"stale baseline entry: {entry.rule} at "
+                    f"{entry.path}: {entry.message!r} matches no "
+                    f"finding"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return AnalysisReport(root=report.root, findings=findings,
+                          module_count=report.module_count,
+                          rule_names=report.rule_names)
+
+
+def baseline_from_report(report: AnalysisReport,
+                         previous: Baseline | None = None) -> Baseline:
+    """Regenerate a baseline from active findings.
+
+    Justifications from ``previous`` are carried over by fingerprint;
+    genuinely new findings get a ``TODO`` justification that must be
+    written by a human before the entry suppresses anything.
+    """
+    kept: dict[tuple[str, str, str], str] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            kept[entry.fingerprint] = entry.justification
+    entries: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in report.findings:
+        if finding.severity is not Severity.ERROR or finding.suppressed:
+            continue
+        if finding.rule in ("suppression-hygiene", "flow-baseline"):
+            continue
+        rel = relative_finding_path(finding.path, report.root)
+        fingerprint = (finding.rule, rel, finding.message)
+        if fingerprint in entries:
+            continue
+        entries[fingerprint] = BaselineEntry(
+            rule=finding.rule, path=rel, message=finding.message,
+            justification=kept.get(
+                fingerprint, "TODO -- justify this flow or fix it"))
+    return Baseline(entries=list(entries.values()),
+                    path=previous.path if previous else None)

@@ -1,0 +1,285 @@
+"""Whole-program call graph over a :class:`~repro.analysis.graph.PackageIndex`.
+
+The flow engine (:mod:`repro.analysis.flow`) needs to follow values
+*across* function boundaries, so this module lifts the per-module ASTs
+into a package-wide function table plus resolved call sites:
+
+* every function and method gets a **qualified name** of the form
+  ``"kernel.syscalls:SyscallTable.dispatch"`` (module, then the def path
+  inside it), stable across runs and usable in finding messages;
+* every call expression becomes a :class:`CallSite` carrying the textual
+  *name path* of the callee (``obj.net.send(...)`` -> ``("obj", "net",
+  "send")``) and the set of candidate :class:`FunctionInfo` targets the
+  resolver could bind it to.
+
+Resolution is deliberately name-based (Python is dynamic; this analyzer
+is a lint, not a verifier): a ``self.f()`` call binds to ``f`` in the
+enclosing class first, a ``mod.f()`` call follows the import table, and
+an unqualified method name falls back to *every* function of that name
+in the package, capped so pathological fan-out degrades to "unresolved"
+instead of drowning the dataflow engine.  Unresolved calls are handled
+conservatively by the flow engine (taint propagates through them).
+
+Like the rest of :mod:`repro.analysis`, this module imports nothing
+from the tree it analyzes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .graph import Module, PackageIndex
+
+#: A call that could bind to more than this many same-named functions is
+#: treated as unresolved: summaries over huge candidate sets are noise.
+MAX_CANDIDATES = 8
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionInfo:
+    """One function or method definition in the analyzed package."""
+
+    qualname: str                 # "module:Class.method" / "module:func"
+    module_name: str              # package-relative dotted module name
+    path: str                     # source file (as given to the analyzer)
+    line: int
+    name: str                     # bare function name
+    class_name: str | None        # enclosing class, if a method
+    params: tuple[str, ...]       # positional parameter names, in order
+    node: ast.AST = field(repr=False)   # the FunctionDef / AsyncFunctionDef
+
+    @property
+    def dotted(self) -> str:
+        """Qualname with ``:`` flattened to ``.`` (for suffix matching)."""
+        return self.qualname.replace(":", ".")
+
+
+@dataclass(eq=False)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str                   # qualname of the enclosing function
+    name_path: tuple[str, ...]    # textual callee path ("self","net","send")
+    line: int
+    node: ast.Call = field(repr=False)
+    candidates: tuple[FunctionInfo, ...] = ()
+    #: True when the callee name resolved to a class in the package (the
+    #: call constructs an object rather than transferring control).
+    constructs: bool = False
+
+
+def name_path_of(func: ast.expr) -> tuple[str, ...]:
+    """Textual dotted path of a call's callee expression.
+
+    Non-name links in the chain (calls, subscripts) become ``"<expr>"``
+    so the *trailing* components -- the ones specs match on -- survive:
+    ``self.links[n].data.send`` -> ``("self", "<expr>", "data", "send")``.
+    """
+    parts: list[str] = []
+    node = func
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            break
+        else:
+            parts.append("<expr>")
+            break
+    return tuple(reversed(parts))
+
+
+def _positional_params(args: ast.arguments) -> tuple[str, ...]:
+    return tuple(a.arg for a in args.posonlyargs + args.args)
+
+
+class _Collector(ast.NodeVisitor):
+    """Collect function defs, import bindings, and class names."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.functions: list[FunctionInfo] = []
+        #: local name -> (module target, original name | None).  A None
+        #: original name means the binding is the module itself.
+        self.import_bindings: dict[str, tuple[str, str | None]] = {}
+        self.class_names: set[str] = set()
+        self._stack: list[str] = []
+
+    def _qual(self, name: str) -> str:
+        inner = ".".join(self._stack + [name])
+        return f"{self.module.name or '<root>'}:{inner}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._stack:
+            self.class_names.add(node.name)
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.functions.append(FunctionInfo(
+            qualname=self._qual(node.name),
+            module_name=self.module.name,
+            path=str(self.module.path), line=node.lineno,
+            name=node.name,
+            class_name=self._stack[-1] if self._stack else None,
+            params=_positional_params(node.args), node=node))
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        # The module-level target was already resolved by the import
+        # graph; here only the *bound names* matter.
+        target = _import_target(self.module, node.lineno)
+        if target is None:
+            return
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            self.import_bindings[bound] = (target, alias.name)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        target = _import_target(self.module, node.lineno)
+        if target is None:
+            return
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self.import_bindings[bound] = (target, None)
+
+
+def _import_target(module: Module, line: int) -> str | None:
+    """The package-relative target the import graph resolved for ``line``."""
+    for imp in module.imports:
+        if imp.line == line:
+            return imp.target
+    return None
+
+
+class CallGraph:
+    """Function table plus resolved call sites for one package."""
+
+    def __init__(self, index: PackageIndex):
+        self.index = index
+        self.functions: dict[str, FunctionInfo] = {}
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        self.by_module: dict[str, list[FunctionInfo]] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.class_names: set[str] = set()
+        self._collect(index)
+        self._resolve_calls()
+
+    # -- construction -----------------------------------------------------
+
+    def _collect(self, index: PackageIndex) -> None:
+        self._bindings: dict[str, dict[str, tuple[str, str | None]]] = {}
+        for module in index.modules:
+            if module.tree is None:
+                continue
+            collector = _Collector(module)
+            collector.visit(module.tree)
+            self._bindings[module.name] = collector.import_bindings
+            self.class_names |= collector.class_names
+            for info in collector.functions:
+                self.functions[info.qualname] = info
+                self.by_name.setdefault(info.name, []).append(info)
+                self.by_module.setdefault(info.module_name,
+                                          []).append(info)
+
+    def _resolve_calls(self) -> None:
+        for info in self.functions.values():
+            sites: list[CallSite] = []
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                path = name_path_of(node.func)
+                site = CallSite(caller=info.qualname, name_path=path,
+                                line=node.lineno, node=node)
+                site.candidates, site.constructs = \
+                    self._candidates(info, path)
+                sites.append(site)
+            self.calls[info.qualname] = sites
+
+    # -- resolution -------------------------------------------------------
+
+    def _module_function(self, module_name: str,
+                         name: str) -> FunctionInfo | None:
+        for info in self.by_module.get(module_name, ()):
+            if info.name == name and info.class_name is None:
+                return info
+        return None
+
+    def _class_method(self, module_name: str, class_name: str,
+                      name: str) -> FunctionInfo | None:
+        for info in self.by_module.get(module_name, ()):
+            if info.name == name and info.class_name == class_name:
+                return info
+        return None
+
+    def _candidates(self, caller: FunctionInfo,
+                    path: tuple[str, ...]
+                    ) -> tuple[tuple[FunctionInfo, ...], bool]:
+        """Candidate targets for a callee name path, plus a
+        constructs-an-object flag."""
+        leaf = path[-1]
+        bindings = self._bindings.get(caller.module_name, {})
+        if len(path) == 1:
+            # Class instantiation: the package defines a class by this
+            # name (locally or imported).
+            if leaf in self.class_names and (
+                    leaf in bindings or
+                    self._class_is_local(caller.module_name, leaf)):
+                return (), True
+            local = self._module_function(caller.module_name, leaf)
+            if local is not None:
+                return (local,), False
+            if leaf in bindings:
+                target_module, original = bindings[leaf]
+                imported = self._module_function(target_module,
+                                                 original or leaf)
+                if imported is not None:
+                    return (imported,), False
+            return (), False
+        # self.m() / cls.m(): the enclosing class wins.
+        if path[0] in ("self", "cls") and len(path) == 2 and \
+                caller.class_name is not None:
+            method = self._class_method(caller.module_name,
+                                        caller.class_name, leaf)
+            if method is not None:
+                return (method,), False
+        # mod.f() through an import binding of the module itself.
+        if path[0] in bindings and len(path) == 2:
+            target_module, original = bindings[path[0]]
+            if original is None:
+                found = self._module_function(target_module, leaf)
+                if found is not None:
+                    return (found,), False
+        # Fall back to every method of this name in the package.
+        methods = tuple(info for info in self.by_name.get(leaf, ())
+                        if info.class_name is not None)
+        if 0 < len(methods) <= MAX_CANDIDATES:
+            return methods, False
+        return (), False
+
+    def _class_is_local(self, module_name: str, name: str) -> bool:
+        return any(info.class_name == name
+                   for info in self.by_module.get(module_name, ()))
+
+    # -- queries ----------------------------------------------------------
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        """Function info by qualified name, if present."""
+        return self.functions.get(qualname)
+
+    def sites(self, qualname: str) -> list[CallSite]:
+        """Call sites inside ``qualname`` (empty if unknown)."""
+        return self.calls.get(qualname, [])
+
+    @classmethod
+    def build(cls, index: PackageIndex) -> "CallGraph":
+        """Build the call graph for an already-loaded package index."""
+        return cls(index)

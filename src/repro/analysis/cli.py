@@ -1,5 +1,13 @@
 """Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
 
+Two entry points share this module:
+
+* ``repro lint`` (:func:`run`) -- the structural rules, with ``--flow``
+  to add the interprocedural flow family on top;
+* ``repro flow`` (:func:`run_flow`) -- the flow family alone, with the
+  checked-in ``FLOW_BASELINE.json`` applied (disable with
+  ``--no-baseline``; point elsewhere with ``--baseline``).
+
 Exit codes: 0 -- no active error findings; 1 -- at least one; 2 -- bad
 invocation (e.g. a root that is not a package directory).
 """
@@ -10,23 +18,30 @@ import argparse
 import sys
 from pathlib import Path
 
+from .baseline import Baseline, apply_baseline, find_baseline
 from .engine import default_root, run_analysis
-from .report import render_json, render_text
+from .flowrules import FLOW_RULES
+from .report import render_json, render_sarif, render_text
 from .rules import ALL_RULES
 
+_RENDERERS = {"json": render_json, "sarif": render_sarif}
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the veil-lint argument parser."""
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """Construct the veil-lint / veil-flow argument parser."""
+    flow_tool = prog == "repro flow"
     parser = argparse.ArgumentParser(
-        prog="repro lint",
-        description="veil-lint: enforce the VMPL trust-boundary layering "
-                    "of the Veil reproduction")
+        prog=prog,
+        description=("veil-flow: interprocedural secret-flow and "
+                     "determinism analysis" if flow_tool else
+                     "veil-lint: enforce the VMPL trust-boundary "
+                     "layering of the Veil reproduction"))
     parser.add_argument(
         "--root", type=Path, default=None,
         help="package directory to analyze (default: the installed "
              "repro tree)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)")
     parser.add_argument(
         "--rules", default=None,
@@ -37,16 +52,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit")
+    if not flow_tool:
+        parser.add_argument(
+            "--flow", action="store_true",
+            help="also run the interprocedural flow rule family "
+                 "(secret-flow, determinism, set-iteration)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="flow baseline file (default: FLOW_BASELINE.json found "
+             "from the working directory or repo root)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="do not apply any flow baseline")
     return parser
 
 
-def run(argv=None, *, stdout=None) -> int:
-    """Parse ``argv``, run the analysis, print a report; returns the
-    exit code (0 clean / 1 findings / 2 usage error)."""
+def _load_baseline(args) -> Baseline:
+    if args.no_baseline:
+        return Baseline.empty()
+    path = args.baseline or find_baseline()
+    if path is None:
+        return Baseline.empty()
+    return Baseline.load(path)
+
+
+def _run(argv, *, stdout, prog: str, registry: tuple) -> int:
     out = stdout or sys.stdout
-    args = build_parser().parse_args(argv)
+    args = build_parser(prog).parse_args(argv)
+    if getattr(args, "flow", False):
+        registry = tuple(ALL_RULES) + tuple(FLOW_RULES)
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in registry:
             print(f"{rule.name:<20} {rule.description}", file=out)
         print("suppression-hygiene  suppressions must name a known rule "
               "and carry a justification", file=out)
@@ -56,22 +92,37 @@ def run(argv=None, *, stdout=None) -> int:
         print(f"error: {root} is not a package directory "
               "(no __init__.py)", file=sys.stderr)
         return 2
-    rules = None
+    rules = list(registry)
     if args.rules:
         wanted = {name.strip() for name in args.rules.split(",")}
-        unknown = wanted - {rule.name for rule in ALL_RULES}
+        unknown = wanted - {rule.name for rule in registry}
         if unknown:
             print(f"error: unknown rule(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
-        rules = [rule for rule in ALL_RULES if rule.name in wanted]
+        rules = [rule for rule in registry if rule.name in wanted]
     report = run_analysis(root, rules=rules)
-    if args.format == "json":
-        print(render_json(report), file=out)
+    if any(rule in FLOW_RULES for rule in rules):
+        report = apply_baseline(report, _load_baseline(args))
+    renderer = _RENDERERS.get(args.format)
+    if renderer is not None:
+        print(renderer(report), file=out)
     else:
         print(render_text(report, show_suppressed=args.show_suppressed),
               file=out)
     return report.exit_code
+
+
+def run(argv=None, *, stdout=None) -> int:
+    """``repro lint``: structural rules (plus flow with ``--flow``)."""
+    return _run(argv, stdout=stdout, prog="repro lint",
+                registry=tuple(ALL_RULES))
+
+
+def run_flow(argv=None, *, stdout=None) -> int:
+    """``repro flow``: the interprocedural flow rule family."""
+    return _run(argv, stdout=stdout, prog="repro flow",
+                registry=tuple(FLOW_RULES))
 
 
 def main(argv=None) -> None:

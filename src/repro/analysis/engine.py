@@ -147,6 +147,13 @@ class Analyzer:
     def run(self) -> AnalysisReport:
         """Execute every rule and fold in suppressions."""
         known_rules = tuple(rule.name for rule in self.rules)
+        # Suppression comments may legitimately name a registered rule
+        # that is not part of *this* run (an ``allow(secret-flow)`` must
+        # not be an unknown-rule error under a structural-only lint), so
+        # hygiene validates against the full registry while the stale
+        # check below only considers rules that actually ran.
+        registry = known_rules + registered_rule_names() + ("parse",)
+        registry = tuple(dict.fromkeys(registry))
         raw: list[Finding] = []
         for module in self.index.modules:
             if module.parse_error is not None:
@@ -164,7 +171,7 @@ class Analyzer:
 
         findings = [self._apply_suppressions(f, suppressions) for f in raw]
         findings.extend(
-            self._hygiene_findings(suppressions, known_rules))
+            self._hygiene_findings(suppressions, known_rules, registry))
         findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return AnalysisReport(root=str(self.root), findings=findings,
                               module_count=len(self.index.modules),
@@ -196,7 +203,10 @@ class Analyzer:
 
     @staticmethod
     def _hygiene_findings(suppressions: list[Suppression],
-                          known_rules: tuple[str, ...]) -> list[Finding]:
+                          known_rules: tuple[str, ...],
+                          registry: tuple[str, ...] | None = None
+                          ) -> list[Finding]:
+        registry = registry if registry is not None else known_rules
         out = []
         for sup in suppressions:
             if not sup.reason:
@@ -206,26 +216,36 @@ class Analyzer:
                     message="suppression without a justification: write "
                             "'# veil-lint: allow(<rule>) -- <reason>'"))
             for name in sup.rules:
-                if name not in known_rules:
+                if name not in registry:
                     out.append(Finding(
                         rule="suppression-hygiene",
                         severity=Severity.ERROR,
                         path=sup.path, line=sup.line,
                         message=f"suppression names unknown rule "
                                 f"{name!r} (known: "
-                                f"{', '.join(known_rules)})"))
+                                f"{', '.join(registry)})"))
             if not sup.rules:
                 out.append(Finding(
                     rule="suppression-hygiene", severity=Severity.ERROR,
                     path=sup.path, line=sup.line,
                     message="suppression names no rule"))
-            if sup.rules and sup.reason and not sup.used:
+            if sup.rules and sup.reason and not sup.used and \
+                    any(name in known_rules for name in sup.rules):
+                # Stale only if a rule that actually ran found nothing;
+                # an allow for a rule outside this run is not stale.
                 out.append(Finding(
                     rule="suppression-hygiene", severity=Severity.WARNING,
                     path=sup.path, line=sup.line,
                     message="suppression matches no finding "
                             "(stale allow comment?)"))
         return out
+
+
+def registered_rule_names() -> tuple[str, ...]:
+    """Every rule name in the full registry (structural + flow)."""
+    from .flowrules import flow_rule_names
+    from .rules import rule_names
+    return rule_names() + flow_rule_names()
 
 
 def default_root() -> Path:

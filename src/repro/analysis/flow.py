@@ -1,0 +1,622 @@
+"""Interprocedural secret-flow (taint) engine.
+
+The paper's confidentiality argument is a set of *information-flow*
+claims: key material, unsealed plaintext, and attestation secrets
+produced inside VMPL0/VMPL1 never reach hypervisor-visible memory, the
+inter-host fabric, traces, or exception messages except through sealing.
+veil-lint's structural rules cannot see those flows; this module can.
+
+The engine is a classic summary-based taint analysis over the
+:class:`~repro.analysis.callgraph.CallGraph`:
+
+* a :class:`FlowSpec` declares **sources** (calls whose result is secret,
+  attribute loads that read secret state), **sanitizers** (seal /
+  encrypt / MAC / digest operations, whose results are safe to expose),
+  and **sinks** (fabric sends, GHCB/shared-page writes, trace-span args,
+  log/exception message formatting);
+* every function gets a **summary** -- which parameters flow to its
+  return value, whether it returns a freshly-minted secret, and which
+  parameters it (transitively) feeds into a sink;
+* summaries are iterated to a fixpoint, so a secret that crosses any
+  number of call boundaries, containers, f-strings, or assignments is
+  still tracked, and every finding carries the **full call chain** from
+  the source to the sink.
+
+Precision notes (this is a lint, not a verifier): taint is tracked per
+local variable, flows into containers (a dict holding a secret is
+secret) and out of subscripts, and propagates through calls the resolver
+cannot bind (unknown callees are assumed to pass taint through).
+Constructor calls of in-package classes are treated as *storing* rather
+than leaking (``SecureChannel(key)`` is how keys are legitimately
+consumed); method calls on tainted receivers stay tainted
+(``key.hex()`` is still the key).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph, CallSite, FunctionInfo, name_path_of
+from .graph import PackageIndex
+
+#: Fixpoint bound: summaries grow monotonically, so this is a safety
+#: valve, not a tuning knob (the live tree converges in 3 rounds).
+MAX_ROUNDS = 12
+
+#: Builtins whose result never carries their arguments' secrecy.
+BENIGN_CALLS = frozenset({
+    "len", "isinstance", "issubclass", "bool", "type", "id", "callable",
+    "hasattr", "super",
+})
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+def suffix_match(pattern: str, dotted: str) -> bool:
+    """Whether ``pattern``'s dotted components end ``dotted``."""
+    want = pattern.split(".")
+    have = dotted.split(".")
+    return len(have) >= len(want) and have[-len(want):] == want
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A call (or attribute load) whose value is secret."""
+
+    pattern: str
+    description: str
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """A call whose arguments become adversary-visible."""
+
+    pattern: str
+    description: str
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One complete source/sanitizer/sink policy."""
+
+    call_sources: tuple[SourceSpec, ...]
+    attr_sources: tuple[SourceSpec, ...]
+    sanitizers: tuple[str, ...]
+    sinks: tuple[SinkSpec, ...]
+    #: Top-level subpackages the policy does not apply to.
+    excluded_packages: frozenset[str] = frozenset()
+
+    def source_for_call(self, dotted: str) -> SourceSpec | None:
+        """The call-source spec matching a dotted callee, if any."""
+        for spec in self.call_sources:
+            if suffix_match(spec.pattern, dotted):
+                return spec
+        return None
+
+    def source_for_attr(self, dotted: str) -> SourceSpec | None:
+        """The attribute-source spec matching a dotted load, if any."""
+        for spec in self.attr_sources:
+            if suffix_match(spec.pattern, dotted):
+                return spec
+        return None
+
+
+#: The Veil secret-flow policy (see ``docs/ANALYSIS.md`` for the mapping
+#: to the paper's Table 1/2 invariants).
+SECRET_FLOW_SPEC = FlowSpec(
+    call_sources=(
+        SourceSpec("shared_key", "DH shared secret"),
+        SourceSpec("channel_key_from_report", "attested channel key"),
+        SourceSpec("derive_data_key", "fleet data-plane key"),
+        SourceSpec("generate_key", "fresh symmetric key"),
+        SourceSpec("open_sealed", "unsealed plaintext"),
+        SourceSpec("unseal", "unsealed enclave plaintext"),
+        SourceSpec("receive", "unsealed channel plaintext"),
+    ),
+    attr_sources=(
+        SourceSpec("key", "channel session key"),
+        SourceSpec("report_data", "attestation report_data"),
+    ),
+    sanitizers=(
+        # Sealing / encryption / authentication: the output is safe for
+        # any adversary-visible surface.
+        "seal", "encrypt", "mac", "hmac", "sha256", "sha256_hex",
+        "digest", "hexdigest", "fingerprint", "sign",
+        # SecureChannel.send seals its payload; the textual patterns
+        # cover the receiver names the tree (and fixtures) use, the
+        # class-qualified one covers resolved candidates.
+        "SecureChannel.send", "channel.send", "data.send",
+        "control.send", "user_channel.send", "data_channel.send",
+        "seal_for_user",
+    ),
+    sinks=(
+        SinkSpec("net.send", "inter-host fabric"),
+        SinkSpec("encode_message", "fabric message encoding"),
+        SinkSpec("write_message", "GHCB shared page"),
+        SinkSpec("tracer.span", "trace span args"),
+        SinkSpec("tracer.instant", "trace event args"),
+        SinkSpec("exit_log.append", "hypervisor exit log"),
+        SinkSpec("print", "console output"),
+    ),
+    excluded_packages=frozenset({"attacks", "analysis"}),
+)
+
+
+# ---------------------------------------------------------------------------
+# Taint values and function summaries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Taint:
+    """Where a tracked value's secrecy came from.
+
+    ``kind`` is ``"source"`` (a real secret, traced back to a source
+    expression) or ``"param"`` (symbolic: the value derives from the
+    enclosing function's parameter ``param`` -- used to build summaries,
+    never reported directly).
+    """
+
+    kind: str
+    description: str            # source description / parameter name
+    origin: str                 # "path:line" where the taint entered
+    chain: tuple[str, ...]      # qualnames the value has passed through
+    param: int = -1             # parameter index for kind == "param"
+
+    def through(self, qualname: str) -> "Taint":
+        """This taint after flowing through one more function."""
+        if self.chain and self.chain[-1] == qualname:
+            return self
+        return Taint(self.kind, self.description, self.origin,
+                     self.chain + (qualname,), self.param)
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A sink reachable from a function parameter (for summaries)."""
+
+    sink: str                   # sink description
+    location: str               # "path:line" of the actual sink call
+    chain: tuple[str, ...]      # qualnames from the summarized function in
+
+
+@dataclass
+class Summary:
+    """What one function does with taint, as seen by its callers."""
+
+    taints_return: set[int] = field(default_factory=set)
+    #: source description -> (origin, chain): the function returns a
+    #: freshly-created secret.
+    source_returns: dict[str, tuple[str, tuple[str, ...]]] = \
+        field(default_factory=dict)
+    #: parameter index -> sink hits reachable from it.
+    param_sinks: dict[int, tuple[SinkHit, ...]] = \
+        field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One unsanitized source -> sink path."""
+
+    path: str
+    line: int
+    source: str
+    sink: str
+    origin: str                 # source location
+    chain: tuple[str, ...]      # full call chain, source to sink
+
+    @property
+    def message(self) -> str:
+        """Finding text: line- and path-free so baselines stay stable.
+
+        The source location (``origin``) is deliberately not embedded:
+        the chain's first qualname identifies the source function, and
+        line numbers shift under unrelated edits.
+        """
+        chain = " -> ".join(self.chain) if self.chain else "<local>"
+        return (f"unsanitized secret flow: {self.source} reaches "
+                f"{self.sink}; call chain: {chain}")
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class FlowEngine:
+    """Run one :class:`FlowSpec` over a package's call graph."""
+
+    def __init__(self, graph: CallGraph, spec: FlowSpec):
+        self.graph = graph
+        self.spec = spec
+        self.summaries: dict[str, Summary] = {
+            q: Summary() for q in graph.functions}
+        self._findings: dict[tuple, FlowFinding] = {}
+        self._changed = False
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self) -> list[FlowFinding]:
+        """Iterate to a fixpoint; return findings sorted by location."""
+        in_scope = [q for q in sorted(self.graph.functions)
+                    if self._in_scope(self.graph.functions[q])]
+        for _ in range(MAX_ROUNDS):
+            self._changed = False
+            for qualname in in_scope:
+                self._analyze(self.graph.functions[qualname])
+            if not self._changed:
+                break
+        return sorted(self._findings.values(),
+                      key=lambda f: (f.path, f.line, f.source, f.sink))
+
+    def _in_scope(self, info: FunctionInfo) -> bool:
+        top = info.module_name.split(".", 1)[0] if info.module_name else ""
+        return top not in self.spec.excluded_packages
+
+    # -- per-function analysis --------------------------------------------
+
+    def _analyze(self, info: FunctionInfo) -> None:
+        self._fn = info
+        self._sites = {id(s.node): s for s in self.graph.sites(
+            info.qualname)}
+        env: dict[str, Taint] = {}
+        for index, name in enumerate(info.params):
+            env[name] = Taint("param", name, self._loc(info.line),
+                              (), index)
+        # Two passes approximate loop-carried taint (a value tainted at
+        # the bottom of a loop body is seen tainted at the top on the
+        # second pass).
+        body = list(getattr(info.node, "body", []))
+        for _ in range(2):
+            for stmt in body:
+                self._stmt(stmt, env)
+
+    def _loc(self, line: int) -> str:
+        return f"{self._fn.path}:{line}"
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, node: ast.stmt, env: dict[str, Taint]) -> None:
+        if isinstance(node, ast.Assign):
+            taint = self._eval(node.value, env)
+            for target in node.targets:
+                self._bind(target, taint, env)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind(node.target, self._eval(node.value, env), env)
+        elif isinstance(node, ast.AugAssign):
+            taint = self._eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                taint = taint or env.get(node.target.id)
+                self._bind(node.target, taint, env)
+            else:
+                self._eval(node.target, env)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._note_return(self._eval(node.value, env))
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value, env)
+        elif isinstance(node, ast.Raise):
+            self._check_raise(node, env)
+        elif isinstance(node, (ast.If, ast.While)):
+            self._eval(node.test, env)
+            for child in node.body + node.orelse:
+                self._stmt(child, env)
+        elif isinstance(node, ast.For):
+            taint = self._eval(node.iter, env)
+            self._bind(node.target, taint, env)
+            for child in node.body + node.orelse:
+                self._stmt(child, env)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                taint = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, env)
+            for child in node.body:
+                self._stmt(child, env)
+        elif isinstance(node, ast.Try):
+            for child in (node.body + node.orelse + node.finalbody):
+                self._stmt(child, env)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._stmt(child, env)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are separate functions in the call graph;
+            # closures over tainted locals are out of scope.
+            return
+        # Remaining simple statements carry no dataflow.
+
+    def _bind(self, target: ast.expr, taint: Taint | None,
+              env: dict[str, Taint]) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                env[target.id] = taint
+            else:
+                env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, env)
+        elif isinstance(target, ast.Subscript):
+            # Storing a secret into a container taints the container.
+            if taint is not None and isinstance(target.value, ast.Name):
+                env[target.value.id] = taint
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, env)
+        # Attribute stores (self.x = key) are field-insensitive: reads
+        # come back through the attr-source patterns instead.
+
+    def _note_return(self, taint: Taint | None) -> None:
+        if taint is None:
+            return
+        summary = self.summaries[self._fn.qualname]
+        if taint.kind == "param":
+            if taint.param not in summary.taints_return:
+                summary.taints_return.add(taint.param)
+                self._changed = True
+        elif taint.description not in summary.source_returns:
+            summary.source_returns[taint.description] = (
+                taint.origin, taint.chain)
+            self._changed = True
+
+    def _check_raise(self, node: ast.Raise, env: dict[str, Taint]) -> None:
+        """A secret formatted into an exception message is a sink."""
+        if node.exc is None:
+            return
+        exc = node.exc
+        args = exc.args + [kw.value for kw in exc.keywords] \
+            if isinstance(exc, ast.Call) else [exc]
+        for arg in args:
+            taint = self._eval(arg, env)
+            if taint is not None:
+                self._hit_sink(taint, "exception message", node.lineno)
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict[str, Taint]) -> Taint | None:
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = ".".join(name_path_of(node))
+            spec = self.spec.source_for_attr(dotted)
+            if spec is not None:
+                return Taint("source", spec.description,
+                             self._loc(node.lineno),
+                             (self._fn.qualname,))
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._first([self._eval(e, env) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(v, env) for v in node.values
+                     if v is not None]
+            parts += [self._eval(k, env) for k in node.keys
+                      if k is not None]
+            return self._first(parts)
+        if isinstance(node, ast.JoinedStr):
+            return self._first([self._eval(v.value, env)
+                                for v in node.values
+                                if isinstance(v, ast.FormattedValue)])
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.BinOp):
+            return self._first([self._eval(node.left, env),
+                                self._eval(node.right, env)])
+        if isinstance(node, ast.BoolOp):
+            return self._first([self._eval(v, env) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            # Comparing against a secret yields a boolean, not the secret.
+            self._eval(node.left, env)
+            for comparator in node.comparators:
+                self._eval(comparator, env)
+            return None
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, env)
+            return self._eval(node.value, env)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._first([self._eval(node.body, env),
+                                self._eval(node.orelse, env)])
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            # Comprehensions: tainted if any free name inside is tainted.
+            for name in ast.walk(node):
+                if isinstance(name, ast.Name) and name.id in env:
+                    return env[name.id]
+            return None
+        return None
+
+    @staticmethod
+    def _first(taints) -> Taint | None:
+        taints = [t for t in taints if t is not None]
+        return FlowEngine._best(taints)
+
+    @staticmethod
+    def _best(taints: list) -> Taint | None:
+        """Most informative taint: a real source beats a symbolic param."""
+        for taint in taints:
+            if taint.kind == "source":
+                return taint
+        return taints[0] if taints else None
+
+    # -- calls -------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call,
+                   env: dict[str, Taint]) -> Taint | None:
+        site = self._sites.get(id(node))
+        path = site.name_path if site is not None \
+            else name_path_of(node.func)
+        arg_taints = [(i, self._eval(a, env))
+                      for i, a in enumerate(node.args)]
+        kw_taints = [(kw.arg, self._eval(kw.value, env))
+                     for kw in node.keywords]
+        all_taints = [t for _, t in arg_taints + kw_taints
+                      if t is not None]
+        any_taint = self._best(all_taints)
+
+        classification = self._classify(path, site)
+        if classification is not None:
+            kind, spec = classification
+            if kind == "sanitizer":
+                return None
+            if kind == "sink":
+                # Every tainted argument is its own violation: a real
+                # secret must not hide behind a symbolic param taint.
+                for taint in all_taints:
+                    self._hit_sink(taint, spec.description, node.lineno)
+                return None
+            if kind == "source":
+                return Taint("source", spec.description,
+                             self._loc(node.lineno),
+                             (self._fn.qualname,))
+
+        if site is not None and site.constructs:
+            # Constructing an in-package object *stores* the secret
+            # (SecureChannel(key)); it does not expose it.
+            return None
+
+        candidates = site.candidates if site is not None else ()
+        if candidates:
+            return self._through_candidates(node, path, candidates,
+                                            arg_taints, kw_taints)
+
+        # Unknown callee: benign builtins drop taint, a method call on a
+        # tainted receiver keeps it (key.hex() is still the key), and
+        # anything else conservatively passes its arguments through.
+        if len(path) == 1 and path[0] in BENIGN_CALLS:
+            return None
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value, env)
+            if receiver is not None:
+                return receiver
+        return any_taint
+
+    def _classify(self, path: tuple[str, ...],
+                  site: CallSite | None):
+        """Best spec match for a call: (kind, spec) or None.
+
+        Textual name-path matches outrank candidate-qualname matches
+        (the receiver name is more specific than a bare method name);
+        within a tier, the longest pattern wins; a tie between sink and
+        sanitizer resolves to neither (the call stays a propagating
+        unknown, and taint is caught at the next unambiguous sink).
+        """
+        dotted = ".".join(path)
+        best: dict[str, tuple[int, object]] = {}
+
+        def offer(kind: str, length: int, spec) -> None:
+            if kind not in best or length > best[kind][0]:
+                best[kind] = (length, spec)
+
+        for spec in self.spec.sinks:
+            if suffix_match(spec.pattern, dotted):
+                offer("sink", 100 + len(spec.pattern.split(".")), spec)
+        for pattern in self.spec.sanitizers:
+            if suffix_match(pattern, dotted):
+                offer("sanitizer", 100 + len(pattern.split(".")), None)
+        source = self.spec.source_for_call(dotted)
+        if source is not None:
+            offer("source", 100 + len(source.pattern.split(".")), source)
+        if site is not None:
+            for cand in site.candidates:
+                cd = cand.dotted
+                for spec in self.spec.sinks:
+                    if suffix_match(spec.pattern, cd):
+                        offer("sink", len(spec.pattern.split(".")), spec)
+                for pattern in self.spec.sanitizers:
+                    if suffix_match(pattern, cd):
+                        offer("sanitizer", len(pattern.split(".")), None)
+                src = self.spec.source_for_call(cd)
+                if src is not None:
+                    offer("source", len(src.pattern.split(".")), src)
+        if not best:
+            return None
+        ranked = sorted(best.items(), key=lambda kv: -kv[1][0])
+        top_len = ranked[0][1][0]
+        tied = [kind for kind, (length, _) in best.items()
+                if length == top_len]
+        if len(tied) > 1:
+            return None     # ambiguous (e.g. a bare ".send")
+        kind = ranked[0][0]
+        return kind, best[kind][1]
+
+    def _through_candidates(self, node: ast.Call, path: tuple[str, ...],
+                            candidates: tuple[FunctionInfo, ...],
+                            arg_taints, kw_taints) -> Taint | None:
+        """Propagate taint through resolved callees via their summaries."""
+        result: Taint | None = None
+        # Positional offset: a method called through an attribute
+        # receives the receiver as parameter 0.
+        method_call = len(path) > 1
+        for cand in candidates:
+            summary = self.summaries[cand.qualname]
+            offset = 1 if (method_call and cand.class_name is not None
+                           and cand.params and
+                           cand.params[0] in ("self", "cls")) else 0
+            bindings: list[tuple[int, Taint]] = []
+            for pos, taint in arg_taints:
+                if taint is not None:
+                    bindings.append((pos + offset, taint))
+            for name, taint in kw_taints:
+                if taint is not None and name in cand.params:
+                    bindings.append((cand.params.index(name), taint))
+            if summary.source_returns and result is None:
+                desc, (origin, chain) = sorted(
+                    summary.source_returns.items())[0]
+                result = Taint("source", desc, origin,
+                               chain).through(self._fn.qualname)
+            for param, taint in bindings:
+                if param in summary.taints_return and result is None:
+                    result = taint.through(cand.qualname).through(
+                        self._fn.qualname)
+                for hit in summary.param_sinks.get(param, ()):
+                    self._hit_sink(taint, hit.sink, node.lineno,
+                                   via=hit.chain,
+                                   sink_location=hit.location)
+        return result
+
+    # -- sinks -------------------------------------------------------------
+
+    def _hit_sink(self, taint: Taint, sink: str, line: int, *,
+                  via: tuple[str, ...] = (),
+                  sink_location: str | None = None) -> None:
+        """Tainted value meets a sink: report or summarize."""
+        if taint.kind == "source":
+            chain = taint.chain
+            if not chain or chain[-1] != self._fn.qualname:
+                chain = chain + (self._fn.qualname,)
+            chain += tuple(q for q in via if q not in chain)
+            finding = FlowFinding(
+                path=self._fn.path, line=line, source=taint.description,
+                sink=sink, origin=taint.origin, chain=chain)
+            key = (finding.path, finding.line, finding.source,
+                   finding.sink)
+            if key not in self._findings:
+                self._findings[key] = finding
+                self._changed = True
+            return
+        # Parameter taint: record in this function's summary so callers
+        # passing real secrets inherit the (deeper) sink.
+        summary = self.summaries[self._fn.qualname]
+        hits = summary.param_sinks.get(taint.param, ())
+        location = sink_location or self._loc(line)
+        chain = (self._fn.qualname,) + tuple(
+            q for q in via if q != self._fn.qualname)
+        new_hit = SinkHit(sink=sink, location=location, chain=chain)
+        if all(h.sink != sink or h.location != location for h in hits):
+            summary.param_sinks[taint.param] = hits + (new_hit,)
+            self._changed = True
+
+
+def analyze_flows(index: PackageIndex,
+                  spec: FlowSpec = SECRET_FLOW_SPEC
+                  ) -> list[FlowFinding]:
+    """Convenience: build the call graph and run ``spec`` over it."""
+    return FlowEngine(CallGraph.build(index), spec).run()

@@ -19,38 +19,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import SimulationError
+from ..hw.rng import DeterministicRandom
 
 
-class SplitMix64:
-    """Tiny deterministic PRNG (SplitMix64), independent of CPython.
+class SplitMix64(DeterministicRandom):
+    """The plan's PRNG: :class:`~repro.hw.rng.DeterministicRandom`.
 
-    ``random.Random`` would work, but hand-rolling the generator pins
-    the stream across Python versions -- a replayed seed must mean the
-    same schedule forever, not "until the stdlib reshuffles".
+    veil-flow hoisted the generator into ``hw.rng`` as the stack-wide
+    sanctioned randomness facility; this subclass keeps the chaos name
+    (and the exact output stream, so pre-existing fault-schedule seeds
+    replay unchanged) while narrowing the error type to the simulation
+    domain.
     """
-
-    _MASK = (1 << 64) - 1
-
-    def __init__(self, seed: int):
-        self._state = seed & self._MASK
-
-    def next_u64(self) -> int:
-        """Next 64-bit output word."""
-        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
-        z = self._state
-        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
-        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
-        return z ^ (z >> 31)
-
-    def random(self) -> float:
-        """Uniform float in [0, 1) with 53 bits of precision."""
-        return (self.next_u64() >> 11) / float(1 << 53)
 
     def randrange(self, bound: int) -> int:
         """Uniform int in [0, bound)."""
         if bound <= 0:
             raise SimulationError(f"randrange bound {bound} must be > 0")
-        return self.next_u64() % bound
+        return super().randrange(bound)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ Commands map one-to-one onto the paper's experiments:
 ``attacks``    Tables 1 & 2 + section 8.3 attack suites
 ``ltp``        LTP-style SDK conformance summary
 ``lint``       veil-lint trust-boundary static analysis of the tree
+``flow``       veil-flow secret-flow + determinism analysis (baseline)
 ``trace``      run a workload under veil-trace, export a Perfetto trace
 ``turbo``      software-TLB speedup microbenchmark (veil-turbo)
 ``profile``    cProfile a trace workload and print the hotspots
@@ -122,8 +123,7 @@ def _cmd_ltp(args) -> None:
             print(f"  {name:<20} {good} passed / {bad} failed")
 
 
-def _cmd_lint(args) -> None:
-    from .analysis import cli as analysis_cli
+def _lint_argv(args) -> list:
     argv = ["--format", args.format]
     if args.root:
         argv += ["--root", args.root]
@@ -133,7 +133,26 @@ def _cmd_lint(args) -> None:
         argv.append("--show-suppressed")
     if args.list_rules:
         argv.append("--list-rules")
+    if getattr(args, "baseline", None):
+        argv += ["--baseline", args.baseline]
+    if getattr(args, "no_baseline", False):
+        argv.append("--no-baseline")
+    return argv
+
+
+def _cmd_lint(args) -> None:
+    from .analysis import cli as analysis_cli
+    argv = _lint_argv(args)
+    if args.flow:
+        argv.append("--flow")
     code = analysis_cli.run(argv)
+    if code:
+        sys.exit(code)
+
+
+def _cmd_flow(args) -> None:
+    from .analysis import cli as analysis_cli
+    code = analysis_cli.run_flow(_lint_argv(args))
     if code:
         sys.exit(code)
 
@@ -335,12 +354,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser("lint",
                           help="veil-lint trust-boundary analysis")
     lint.add_argument("--root", default=None)
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text")
     lint.add_argument("--rules", default=None)
     lint.add_argument("--show-suppressed", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the interprocedural flow rules")
+    lint.add_argument("--baseline", default=None)
+    lint.add_argument("--no-baseline", action="store_true")
     lint.set_defaults(fn=_cmd_lint)
+
+    flow = sub.add_parser(
+        "flow", help="veil-flow secret-flow + determinism analysis")
+    flow.add_argument("--root", default=None)
+    flow.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
+    flow.add_argument("--rules", default=None)
+    flow.add_argument("--show-suppressed", action="store_true")
+    flow.add_argument("--list-rules", action="store_true")
+    flow.add_argument("--baseline", default=None)
+    flow.add_argument("--no-baseline", action="store_true")
+    flow.set_defaults(fn=_cmd_flow)
 
     trace = sub.add_parser(
         "trace", help="run a workload under veil-trace")

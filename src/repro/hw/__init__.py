@@ -11,6 +11,7 @@ This package models the architectural mechanisms Veil depends on:
 * :mod:`~repro.hw.ghcb` -- the shared guest-hypervisor communication block;
 * :mod:`~repro.hw.pagetable` -- guest page tables (CPL-level policy);
 * :mod:`~repro.hw.cycles` -- the calibrated cycle cost model;
+* :mod:`~repro.hw.rng` -- the seed-stable entropy source (SplitMix64);
 * :mod:`~repro.hw.platform` -- :class:`~repro.hw.platform.SevSnpMachine`.
 """
 
@@ -22,6 +23,7 @@ from .pagetable import GuestPageTable, PageFault, Pte
 from .platform import FrameAllocator, SevSnpMachine
 from .rmp import (Access, DOMAIN_NAMES, NUM_VMPLS, Rmp, RmpEntry,
                   VMPL_ENC, VMPL_MON, VMPL_SER, VMPL_UNT, vmpl_name)
+from .rng import DeterministicRandom, GETRANDOM_SEED
 from .vcpu import VirtualCpu
 from .vmsa import GPR_NAMES, RegisterFile, Vmsa
 
@@ -32,5 +34,5 @@ __all__ = [
     "PageFault", "Pte", "FrameAllocator", "SevSnpMachine", "Access",
     "NUM_VMPLS", "Rmp", "RmpEntry", "VMPL_ENC", "VMPL_MON", "VMPL_SER",
     "VMPL_UNT", "DOMAIN_NAMES", "vmpl_name", "VirtualCpu", "GPR_NAMES",
-    "RegisterFile", "Vmsa",
+    "RegisterFile", "Vmsa", "DeterministicRandom", "GETRANDOM_SEED",
 ]

@@ -23,6 +23,7 @@ from collections import Counter
 
 from ..errors import KernelError
 from ..hw.memory import PAGE_SIZE
+from ..hw.rng import DeterministicRandom, GETRANDOM_SEED
 from . import fs as fsmod
 from . import layout, net
 from .fs import (O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, InodeType)
@@ -78,6 +79,9 @@ class SyscallTable:
         self.kernel = kernel
         self.call_count = 0
         self.per_syscall_counts: Counter[str] = Counter()
+        # Boot-seeded entropy pool backing sys_getrandom: part of the
+        # machine's measured state, so replays read identical bytes.
+        self._entropy_pool = DeterministicRandom(GETRANDOM_SEED)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -686,9 +690,14 @@ class SyscallTable:
                 "machine": "x86_64"}
 
     def sys_getrandom(self, core, proc, buf: int, count: int) -> int:
-        """Fill the user buffer with random bytes."""
-        import secrets
-        data = secrets.token_bytes(min(count, 256))
+        """Fill the user buffer from the boot-seeded entropy pool.
+
+        The pool is a :class:`~repro.hw.rng.DeterministicRandom` seeded
+        at table construction: the simulated machine's entropy is part
+        of its measured, replayable state, so identical runs read
+        identical "random" bytes (the byte-identical-trace contract).
+        """
+        data = self._entropy_pool.token_bytes(min(count, 256))
         core.write(buf, data)
         return len(data)
 

@@ -1,0 +1,136 @@
+"""Call-graph construction and name resolution (veil-flow)."""
+
+from __future__ import annotations
+
+from repro.analysis import CallGraph, PackageIndex
+
+
+def graph_for(make_pkg, files):
+    return CallGraph.build(PackageIndex.load(make_pkg(files)))
+
+
+class TestFunctionTable:
+    def test_qualnames_cover_functions_and_methods(self, make_pkg):
+        graph = graph_for(make_pkg, {"kernel/mod.py": """
+            def helper():
+                return 1
+
+            class Table:
+                def dispatch(self):
+                    return helper()
+        """})
+        assert "kernel.mod:helper" in graph.functions
+        assert "kernel.mod:Table.dispatch" in graph.functions
+        info = graph.functions["kernel.mod:Table.dispatch"]
+        assert info.class_name == "Table"
+        assert info.params == ("self",)
+        assert info.dotted == "kernel.mod.Table.dispatch"
+
+    def test_syntax_error_module_is_skipped(self, make_pkg):
+        graph = graph_for(make_pkg, {
+            "kernel/bad.py": "def broken(:\n",
+            "kernel/good.py": "def fine():\n    return 1\n",
+        })
+        assert "kernel.good:fine" in graph.functions
+        assert not any(q.startswith("kernel.bad:")
+                       for q in graph.functions)
+
+
+class TestResolution:
+    def test_local_function_call(self, make_pkg):
+        graph = graph_for(make_pkg, {"kernel/mod.py": """
+            def callee():
+                return 1
+
+            def caller():
+                return callee()
+        """})
+        (site,) = graph.sites("kernel.mod:caller")
+        assert [c.qualname for c in site.candidates] == \
+            ["kernel.mod:callee"]
+        assert not site.constructs
+
+    def test_self_method_binds_enclosing_class(self, make_pkg):
+        graph = graph_for(make_pkg, {"kernel/mod.py": """
+            class A:
+                def step(self):
+                    return 1
+
+                def run(self):
+                    return self.step()
+
+            class B:
+                def step(self):
+                    return 2
+        """})
+        (site,) = graph.sites("kernel.mod:A.run")
+        assert [c.qualname for c in site.candidates] == \
+            ["kernel.mod:A.step"]
+
+    def test_imported_function_follows_binding(self, make_pkg):
+        graph = graph_for(make_pkg, {
+            "crypto/keys.py": "def derive():\n    return b'k'\n",
+            "kernel/mod.py": """
+                from ..crypto.keys import derive
+
+                def caller():
+                    return derive()
+            """})
+        (site,) = graph.sites("kernel.mod:caller")
+        assert [c.qualname for c in site.candidates] == \
+            ["crypto.keys:derive"]
+
+    def test_class_instantiation_flagged_constructs(self, make_pkg):
+        graph = graph_for(make_pkg, {"kernel/mod.py": """
+            class Channel:
+                def __init__(self, key):
+                    self.key = key
+
+            def make(key):
+                return Channel(key)
+        """})
+        (site,) = graph.sites("kernel.mod:make")
+        assert site.constructs
+        assert site.candidates == ()
+
+    def test_unknown_method_falls_back_to_same_name_methods(
+            self, make_pkg):
+        graph = graph_for(make_pkg, {
+            "cluster/net.py": """
+                class Network:
+                    def send(self, payload):
+                        return payload
+            """,
+            "cluster/front.py": """
+                def push(net, payload):
+                    return net.send(payload)
+            """})
+        (site,) = graph.sites("cluster.front:push")
+        assert site.name_path == ("net", "send")
+        assert [c.qualname for c in site.candidates] == \
+            ["cluster.net:Network.send"]
+
+    def test_fanout_above_cap_degrades_to_unresolved(self, make_pkg):
+        files = {
+            f"cluster/m{i}.py": f"""
+                class C{i}:
+                    def send(self):
+                        return {i}
+            """ for i in range(10)}
+        files["cluster/user.py"] = """
+            def go(obj):
+                return obj.send()
+        """
+        graph = graph_for(make_pkg, files)
+        (site,) = graph.sites("cluster.user:go")
+        assert site.candidates == ()
+
+    def test_subscripted_receiver_keeps_trailing_components(
+            self, make_pkg):
+        graph = graph_for(make_pkg, {"cluster/mod.py": """
+            def fan(links, body):
+                return links[0].data.send(body)
+        """})
+        (site,) = graph.sites("cluster.mod:fan")
+        assert site.name_path[-2:] == ("data", "send")
+        assert site.name_path[0] == "<expr>"

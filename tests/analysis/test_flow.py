@@ -1,0 +1,255 @@
+"""Seeded known-bad flow corpus: every planted violation is caught.
+
+The acceptance contract for veil-flow: a corpus of distinct
+source -> sink flows, covering both rule families (secret-flow and
+determinism), each detected by the analyzer with the right rule, file,
+and -- for taint flows -- the full call chain in the message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FLOW_RULES, Analyzer
+
+from .conftest import findings_for
+
+
+@pytest.fixture
+def flow_report(make_pkg):
+    """Build a fixture package and run only the flow rule family."""
+
+    def run(files):
+        return Analyzer(make_pkg(files), rules=list(FLOW_RULES)).run()
+
+    return run
+
+
+class TestSecretFlowCorpus:
+    """Planted taint flows, one per adversary-visible surface."""
+
+    def test_flow1_dh_shared_secret_to_fabric_send(self, flow_report):
+        report = flow_report({"cluster/handshake.py": """
+            def leak(dh, peer, net, dst):
+                secret = dh.shared_key(peer)
+                net.send("self", dst, secret)
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "DH shared secret" in finding.message
+        assert "inter-host fabric" in finding.message
+
+    def test_flow2_channel_key_attr_to_trace_span(self, flow_report):
+        report = flow_report({"cluster/mon.py": """
+            def observe(tracer, channel):
+                with tracer.span("cluster", "debug",
+                                 args={"key": channel.key}):
+                    pass
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "channel session key" in finding.message
+        assert "trace span args" in finding.message
+
+    def test_flow3_attested_key_to_ghcb_write(self, flow_report):
+        report = flow_report({"hv/relay.py": """
+            def relay(user, report, blob, ghcb, mem):
+                key = user.channel_key_from_report(report, blob)
+                ghcb.write_message(mem, {"key_hex": key.hex()})
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "attested channel key" in finding.message
+        assert "GHCB shared page" in finding.message
+
+    def test_flow4_unsealed_plaintext_to_exception_message(
+            self, flow_report):
+        report = flow_report({"enclave/svc.py": """
+            def check(channel, wire):
+                request = channel.receive(wire)
+                raise ValueError(f"bad request: {request}")
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "unsealed channel plaintext" in finding.message
+        assert "exception message" in finding.message
+
+    def test_flow5_interprocedural_chain_is_reported(self, flow_report):
+        """Source and sink in different functions: the finding lands at
+        the call site crossing into the sinking callee and names every
+        hop."""
+        report = flow_report({"cluster/relay.py": """
+            def publish(net, dst, body):
+                net.send("self", dst, body)
+
+            def wrap(payload):
+                return {"body": payload}
+
+            def leak(dh, peer, net, dst):
+                secret = dh.shared_key(peer)
+                publish(net, dst, wrap(secret))
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "cluster.relay:leak" in finding.message
+        assert "cluster.relay:publish" in finding.message
+        assert "inter-host fabric" in finding.message
+
+    def test_flow6_container_and_fstring_propagate(self, flow_report):
+        report = flow_report({"cluster/fmt.py": """
+            def leak(dh, peer, net, dst):
+                secret = dh.shared_key(peer)
+                envelope = {"debug": f"key={secret!r}"}
+                net.send("self", dst, envelope)
+        """})
+        (finding,) = findings_for(report, "secret-flow")
+        assert "inter-host fabric" in finding.message
+
+    def test_flow7_derived_fleet_key_to_encode(self, flow_report):
+        report = flow_report({"cluster/provision.py": """
+            def leak(channel):
+                data_key = derive_data_key(channel.key)
+                return encode_message({"key_hex": data_key.hex()})
+
+            def derive_data_key(link_key):
+                return link_key
+        """})
+        findings = findings_for(report, "secret-flow")
+        assert findings, "derived key reaching encode_message missed"
+        assert any("fabric message encoding" in f.message
+                   for f in findings)
+
+    def test_sanitized_flow_is_clean(self, flow_report):
+        """seal()/sha256() launder the secret: no finding."""
+        report = flow_report({"cluster/sealed.py": """
+            def ok(dh, peer, net, dst, cipher, nonce):
+                secret = dh.shared_key(peer)
+                net.send("self", dst, cipher.seal(secret, nonce))
+
+            def ok_digest(dh, peer, tracer):
+                secret = dh.shared_key(peer)
+                with tracer.span("cluster", "hs",
+                                 args={"fp": sha256(secret).hex()}):
+                    pass
+
+            def sha256(blob):
+                return blob
+        """})
+        assert findings_for(report, "secret-flow") == []
+
+    def test_channel_send_and_constructor_are_clean(self, flow_report):
+        """SecureChannel.send seals; SecureChannel(key) stores."""
+        report = flow_report({"cluster/chan.py": """
+            class SecureChannel:
+                def __init__(self, key):
+                    self.key = key
+
+                def send(self, payload):
+                    return b"sealed"
+
+            def ok(dh, peer, net, dst):
+                secret = dh.shared_key(peer)
+                channel = SecureChannel(secret)
+                net.send("self", dst, channel.send({"n": 1}))
+        """})
+        assert findings_for(report, "secret-flow") == []
+
+    def test_comparison_result_is_clean(self, flow_report):
+        """Booleans derived from secrets are not secrets."""
+        report = flow_report({"cluster/cmp.py": """
+            def ok(dh, peer, net, dst, expected):
+                secret = dh.shared_key(peer)
+                net.send("self", dst, {"match": secret == expected})
+        """})
+        assert findings_for(report, "secret-flow") == []
+
+
+class TestDeterminismCorpus:
+    """Planted nondeterminism in trace-affecting layers."""
+
+    def test_flow8_time_call_in_kernel_layer(self, flow_report):
+        report = flow_report({"kernel/clock.py": """
+            import time
+
+            def now():
+                return time.time()
+        """})
+        findings = findings_for(report, "determinism")
+        messages = " | ".join(f.message for f in findings)
+        assert "import of nondeterministic module 'time'" in messages
+        assert "nondeterministic call time.time" in messages
+
+    def test_flow9_os_urandom_in_hv_layer(self, flow_report):
+        report = flow_report({"hv/entropy.py": """
+            import os
+
+            def fill(count):
+                return os.urandom(count)
+        """})
+        (finding,) = findings_for(report, "determinism")
+        assert "os.urandom" in finding.message
+
+    def test_flow10_random_module_in_cluster_layer(self, flow_report):
+        report = flow_report({"cluster/balance.py": """
+            import random
+
+            def pick(replicas):
+                return random.choice(replicas)
+        """})
+        findings = findings_for(report, "determinism")
+        assert len(findings) == 2    # the import and the call
+
+    def test_flow11_set_iteration_in_trace_layer(self, flow_report):
+        report = flow_report({"trace/tracks.py": """
+            def render(events):
+                tracks = set()
+                for event in events:
+                    tracks.add(event)
+                out = []
+                for track in tracks:
+                    out.append(track)
+                return out
+        """})
+        (finding,) = findings_for(report, "set-iteration")
+        assert "unordered set" in finding.message
+
+    def test_flow12_list_over_set_in_core_layer(self, flow_report):
+        report = flow_report({"core/order.py": """
+            def snapshot(ids):
+                return list(set(ids))
+        """})
+        (finding,) = findings_for(report, "set-iteration")
+        assert "list() over an unordered set" in finding.message
+
+    def test_sorted_sets_and_set_comprehensions_are_clean(
+            self, flow_report):
+        """Order-insensitive consumption of sets is fine."""
+        report = flow_report({"trace/clean.py": """
+            def render(events):
+                tracks = {e.track for e in events}
+                names = sorted(tracks)
+                total = sum(len(n) for n in names)
+                return names, total, len(tracks)
+        """})
+        assert findings_for(report, "set-iteration") == []
+
+    def test_bench_layer_is_out_of_scope(self, flow_report):
+        """Wall-clock timing is the bench harness's whole point."""
+        report = flow_report({"bench/timer.py": """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """})
+        assert findings_for(report, "determinism") == []
+
+    def test_seeded_facility_is_clean(self, flow_report):
+        """DeterministicRandom-style pure arithmetic trips nothing."""
+        report = flow_report({"hw/rng.py": """
+            class DeterministicRandom:
+                _MASK = (1 << 64) - 1
+
+                def __init__(self, seed):
+                    self._state = seed & self._MASK
+
+                def next_u64(self):
+                    self._state = (self._state
+                                   + 0x9E3779B97F4A7C15) & self._MASK
+                    return self._state
+        """})
+        assert findings_for(report, "determinism") == []

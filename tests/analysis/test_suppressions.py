@@ -1,6 +1,7 @@
 """Suppression semantics: justified allows pass, unjustified ones fail."""
 
-from repro.analysis import Severity
+from repro.analysis import FLOW_RULES, Severity
+from repro.analysis.flowrules import DeterminismRule
 from repro.analysis.rules import VmplLiteralRule
 
 from .conftest import findings_for
@@ -87,4 +88,69 @@ class TestSuppressionSemantics:
                 "    self.vmpl = 2\n")},
             rules=[VmplLiteralRule()])
         assert len(findings_for(report, "vmpl-literal")) == 1
+        assert report.exit_code == 1
+
+    def test_rule_naming_no_rule_is_a_finding(self, analyze):
+        """``allow()`` with an empty rule list is malformed."""
+        report = analyze({
+            "kernel/kernel.py": (
+                "# veil-lint: allow() -- empty\n"
+                "X = 1\n")},
+            rules=[VmplLiteralRule()])
+        hygiene = findings_for(report, "suppression-hygiene")
+        assert any("names no rule" in f.message for f in hygiene)
+        assert report.exit_code == 1
+
+
+class TestCrossRegistrySuppressions:
+    """Flow-rule allows must coexist with structural-only runs."""
+
+    def test_flow_rule_allow_is_known_under_plain_lint(self, analyze):
+        """``allow(secret-flow)`` under a structural run is neither an
+        unknown rule nor a stale comment -- the rule simply didn't
+        run."""
+        report = analyze({
+            "kernel/kernel.py": (
+                "# veil-lint: allow(secret-flow) -- exercised by flow\n"
+                "X = 1\n")},
+            rules=[VmplLiteralRule()])
+        assert findings_for(report, "suppression-hygiene") == []
+        assert report.exit_code == 0
+
+    def test_inline_allow_suppresses_flow_finding(self, analyze):
+        report = analyze({
+            "kernel/clock.py": (
+                "import os\n\n\n"
+                "def fill(count):\n"
+                "    # veil-lint: allow(determinism) -- fixture\n"
+                "    return os.urandom(count)\n")},
+            rules=[DeterminismRule()])
+        assert report.exit_code == 0
+        assert len(report.suppressed) == 1
+
+    def test_truly_unknown_rule_still_errors_in_flow_run(self, analyze):
+        report = analyze({
+            "kernel/kernel.py": (
+                "# veil-lint: allow(not-a-rule) -- why\n"
+                "X = 1\n")},
+            rules=list(FLOW_RULES))
+        hygiene = findings_for(report, "suppression-hygiene")
+        assert any("unknown rule" in f.message for f in hygiene)
+
+
+class TestParseErrorModules:
+    """A syntax-error module must degrade, not crash the analyzer."""
+
+    def test_parse_error_is_reported_and_flow_rules_survive(
+            self, analyze):
+        report = analyze({
+            "kernel/broken.py": "def oops(:\n",
+            "kernel/leaky.py": (
+                "def leak(dh, peer, net, dst):\n"
+                "    net.send('self', dst, dh.shared_key(peer))\n"),
+        }, rules=list(FLOW_RULES))
+        parse = findings_for(report, "parse")
+        assert len(parse) == 1 and "broken.py" in parse[0].path
+        # The healthy module is still fully analyzed.
+        assert len(findings_for(report, "secret-flow")) == 1
         assert report.exit_code == 1

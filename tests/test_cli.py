@@ -12,8 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "cluster", "chaos", "lint", "trace",
-                                    "turbo", "profile",
+                                    "cluster", "chaos", "lint", "flow",
+                                    "trace", "turbo", "profile",
                                     "export", "ablations", "all"}
 
     def test_missing_command_errors(self):

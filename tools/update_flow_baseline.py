@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Refresh FLOW_BASELINE.json from a fresh ``repro flow`` run.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/update_flow_baseline.py [--check]
+
+Re-runs the flow rule family over the live tree and rewrites the
+baseline:
+
+* entries whose fingerprint still matches a finding keep their written
+  justification;
+* findings with no entry are added with a ``TODO`` justification --
+  which suppresses nothing, so CI stays red until a human either fixes
+  the flow or writes down why it is acceptable;
+* entries that no longer match anything are dropped (the stale-entry
+  warning made them visible first).
+
+``--check`` rewrites nothing and exits 1 if the regenerated baseline
+would differ -- the CI guard against drive-by baseline drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.baseline import (          # noqa: E402
+    BASELINE_FILENAME, Baseline, baseline_from_report)
+from repro.analysis.engine import Analyzer, default_root  # noqa: E402
+from repro.analysis.flowrules import FLOW_RULES           # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the baseline is out of date "
+                             "instead of rewriting it")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / BASELINE_FILENAME)
+    args = parser.parse_args(argv)
+
+    previous = (Baseline.load(args.baseline)
+                if args.baseline.is_file() else Baseline.empty())
+    report = Analyzer(default_root(), rules=list(FLOW_RULES)).run()
+    fresh = baseline_from_report(report, previous)
+
+    def canonical(baseline: Baseline) -> str:
+        return json.dumps(sorted(
+            (e.as_dict() for e in baseline.entries),
+            key=lambda d: (d["rule"], d["path"], d["message"])))
+
+    if canonical(fresh) == canonical(previous):
+        print(f"{args.baseline.name}: up to date "
+              f"({len(previous.entries)} entries)")
+        return 0
+    if args.check:
+        print(f"{args.baseline.name}: OUT OF DATE -- run "
+              "'PYTHONPATH=src python tools/update_flow_baseline.py' "
+              "and justify any new entries", file=sys.stderr)
+        return 1
+    fresh.save(args.baseline)
+    todo = sum(1 for e in fresh.entries if not e.effective)
+    print(f"{args.baseline.name}: rewrote {len(fresh.entries)} entries "
+          f"({todo} needing justification)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,10 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
     # ``trace`` is a leaf observability layer: any layer may emit into
     # it, but it must never reach back into the stack it observes.
     "trace": frozenset({"errors"}),
+    # ``scope`` (veil-scope) is the fleet-wide observability leaf: it
+    # aggregates what the layers above push into it, and like ``trace``
+    # it must never reach back into the stack it observes.
+    "scope": frozenset({"trace", "errors"}),
     "hw": frozenset({"trace", "errors"}),
     "crypto": frozenset({"errors"}),
     "hv": frozenset({"hw", "trace", "crypto", "errors"}),
@@ -61,14 +65,15 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
     # workload models it deploys), but nothing below may reach back up
     # into fleet code -- a replica CVM must not know it is in a fleet.
     "cluster": frozenset({"hw", "hv", "kernel", "enclave", "core",
-                          "workloads", "trace", "crypto", "errors"}),
+                          "workloads", "trace", "scope", "crypto",
+                          "errors"}),
     # ``chaos`` is the fault-injection harness: it drives the fleet (and
     # reaches byzantine knobs in ``hv``) from above, so it may import
     # every layer -- but nothing imports chaos: injection is strictly an
     # outside-in concern and the production stack must not know it is
     # being tortured.
     "chaos": frozenset({"cluster", "hw", "hv", "kernel", "enclave",
-                        "core", "workloads", "trace", "crypto",
+                        "core", "workloads", "trace", "scope", "crypto",
                         "errors"}),
     # The analyzer itself must not depend on the tree it judges.
     "analysis": frozenset(),
@@ -635,10 +640,67 @@ class RmpMutationGenerationRule(Rule):
         return False
 
 
+# ---------------------------------------------------------------------------
+# Rule 8: fabric sends must carry trace context
+# ---------------------------------------------------------------------------
+
+class TraceContextRule(Rule):
+    """Fabric request envelopes must propagate the trace context.
+
+    veil-scope's merged fleet timeline only links front-end, fabric, and
+    replica spans when every request-path envelope carries the
+    ``trace`` context field -- and the field must be attached
+    *unconditionally*, because envelope bytes feed the network cost
+    model.  Flags any ``encode_message({...})`` dict literal inside
+    ``cluster``/``chaos`` that has a ``kind`` field but no ``trace``
+    field and is not built through ``attach_context``.  Control-plane
+    frames (attestation, channel init, audit export) predate or sit
+    outside any request and carry justified suppressions.
+    """
+
+    name = "trace-context"
+    description = ("fabric send envelopes in cluster/chaos must carry "
+                   "the veil-scope trace-context field")
+
+    _layers = ("cluster", "chaos")
+
+    def check(self, index: PackageIndex) -> Iterator[Finding]:
+        for module in index.modules:
+            if module.tree is None or not any(
+                    index.in_subpackage(module, layer)
+                    for layer in self._layers):
+                continue
+            for node in ast.walk(module.tree):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: Module,
+                    node: ast.AST) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if name != "encode_message" or not node.args:
+            return
+        envelope = node.args[0]
+        if not isinstance(envelope, ast.Dict):
+            return                 # built elsewhere; not statically checkable
+        keys = {key.value for key in envelope.keys
+                if isinstance(key, ast.Constant) and
+                isinstance(key.value, str)}
+        if "kind" in keys and "trace" not in keys:
+            yield self.finding(
+                module, envelope.lineno,
+                "fabric envelope carries no trace context: add a "
+                "'trace' field (TraceContext.as_wire() / "
+                "attach_context) so fleet traces stay linked, or "
+                "suppress for control-plane frames")
+
+
 ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(), GateBypassRule(), AuditCompletenessRule(),
     ExceptionHygieneRule(), VmplLiteralRule(), TraceSpanRule(),
-    RmpMutationGenerationRule(),
+    RmpMutationGenerationRule(), TraceContextRule(),
 )
 
 

@@ -53,18 +53,28 @@ class ChaoticNetwork(InterHostNetwork):
             self.endpoint(src).ledger.charge(
                 "net", self.cost.message_cost(len(payload)))
             self.tracer.metrics.count("chaos_drop", link)
+            if self.scope.enabled:
+                self.scope.on_fault("drop", link)
             self._release()
             return
         if fate.corrupted:
             self.tracer.metrics.count("chaos_corrupt", link)
+            if self.scope.enabled:
+                self.scope.on_fault("corrupt", link)
         if fate.hold:
             self._held.append((self._send_index + fate.hold, src, dst,
                                fate.payload))
             self.tracer.metrics.count("chaos_delay", link)
+            if self.scope.enabled:
+                self.scope.on_fault("delay", link,
+                                    detail=f"hold={fate.hold}")
             self._release()
             return
         if fate.copies > 1:
             self.tracer.metrics.count("chaos_dup", link)
+            if self.scope.enabled:
+                self.scope.on_fault("dup", link,
+                                    detail=f"copies={fate.copies}")
         for _copy in range(fate.copies):
             super().send(src, dst, fate.payload)
         self._release()

@@ -132,7 +132,8 @@ def _request_payload(config: ChaosConfig, index: int) -> dict:
 
 
 def run_chaos_cluster(config: ChaosConfig | None = None, *,
-                      tracer: "Tracer | None" = None) -> ChaosResult:
+                      tracer: "Tracer | None" = None,
+                      scope=None) -> ChaosResult:
     """Boot, torture, recover, and verify one fleet."""
     config = config or ChaosConfig()
     profile = profile_by_name(config.profile)
@@ -141,7 +142,8 @@ def run_chaos_cluster(config: ChaosConfig | None = None, *,
         from ..trace.tracer import default_tracer
         tracer = default_tracer()
     net = ChaoticNetwork(plan, cost=config.net_cost, tracer=tracer)
-    fleet = ClusterFleet(config.cluster_config(), tracer=tracer, net=net)
+    fleet = ClusterFleet(config.cluster_config(), tracer=tracer, net=net,
+                         scope=scope)
 
     # Byzantine mode: one victim hypervisor corrupts attestation replies
     # before the initial handshakes; the relying party must detect it.

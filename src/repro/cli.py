@@ -18,6 +18,7 @@ Commands map one-to-one onto the paper's experiments:
 ``profile``    cProfile a trace workload and print the hotspots
 ``cluster``    boot a veil-fleet: N attested replicas behind a front end
 ``chaos``      torture a fleet with a seeded fault schedule (veil-chaos)
+``scope``      fleet-wide distributed tracing + latency telemetry
 ``all``        everything above (the full evaluation)
 =============  ========================================================
 """
@@ -283,6 +284,57 @@ def _cmd_chaos(args) -> None:
         sys.exit(1)
 
 
+def _cmd_scope(args) -> None:
+    from .bench.scope import (render_scope_bench, run_scope_bench,
+                              run_scoped, write_scope_bench_json)
+    from .scope import (render_scope_summary, write_merged_trace,
+                        write_scope_json)
+    if args.bench:
+        bench = run_scope_bench(replicas=args.replicas,
+                                requests=args.requests,
+                                service=args.service, policy=args.policy,
+                                repeats=args.repeats)
+        print(render_scope_bench(bench))
+        if args.bench_json:
+            write_scope_bench_json(bench, args.bench_json)
+            print(f"wrote {args.bench_json}")
+        if not bench.parity_ok:
+            print("FAIL: scope on/off parity violated (ledger or trace "
+                  "bytes differ)")
+            sys.exit(1)
+        if args.max_overhead is not None and \
+                bench.overhead > args.max_overhead:
+            print(f"FAIL: observation overhead {bench.overhead:+.1%} "
+                  f"exceeds the --max-overhead cap "
+                  f"{args.max_overhead:+.1%}")
+            sys.exit(1)
+        return
+    result, tracer, scope = run_scoped(
+        replicas=args.replicas, requests=args.requests,
+        schedule=args.schedule, seed=args.seed, service=args.service,
+        policy=args.policy, capacity=args.capacity)
+    faulted = args.schedule != "none"
+    print(f"veil-scope: {args.workload} workload, {args.replicas} "
+          f"replicas, {args.requests} requests, schedule "
+          f"{args.schedule!r}" + (f", seed {args.seed}" if faulted
+                                  else ""))
+    print()
+    print(render_scope_summary(scope))
+    if args.json:
+        write_scope_json(scope, args.json)
+        print(f"\nwrote metrics snapshot to {args.json}")
+    if args.out:
+        from .scope import merged_chrome_trace
+        doc = merged_chrome_trace(tracer, scope)
+        write_merged_trace(tracer, scope, args.out)
+        print(f"wrote {len(doc['traceEvents'])} merged fleet events to "
+              f"{args.out} (load in Perfetto / chrome://tracing)")
+    if faulted and not result.invariants.ok:
+        for violation in result.invariants.violations:
+            print(f"VIOLATION: {violation}")
+        sys.exit(1)
+
+
 def _cmd_ablations(args) -> None:
     from .bench.ablations import (render_ablations,
                                   run_batching_ablation,
@@ -454,6 +506,48 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workload", default="memcached",
                        choices=("memcached", "sqlite"))
     chaos.set_defaults(fn=_cmd_chaos)
+
+    scope = sub.add_parser(
+        "scope", help="fleet-wide tracing + latency telemetry")
+    from .bench.scope import SCHEDULES
+    scope.add_argument("workload", choices=("cluster", "chaos"),
+                       help="fleet scenario to observe (both run the "
+                            "attested fleet; the schedule decides "
+                            "whether faults are injected)")
+    scope.add_argument("--replicas", type=int, default=4,
+                       help="fleet size (independent Veil CVMs)")
+    scope.add_argument("--requests", type=int, default=48,
+                       help="closed-loop requests through the front end")
+    scope.add_argument("--schedule", default="mayhem",
+                       choices=SCHEDULES,
+                       help="fault schedule to inject ('none' for a "
+                            "clean fleet)")
+    scope.add_argument("--seed", type=int, default=1,
+                       help="fault-schedule seed (replayable)")
+    scope.add_argument("--policy", default="least-outstanding",
+                       choices=("round-robin", "least-outstanding",
+                                "consistent-hash"))
+    scope.add_argument("--service", default="memcached",
+                       choices=("memcached", "sqlite"),
+                       help="service each replica hosts")
+    scope.add_argument("--capacity", type=int, default=65536,
+                       help="tracer ring-buffer capacity (events)")
+    scope.add_argument("--out", default=None,
+                       help="write the merged fleet Chrome trace here")
+    scope.add_argument("--json", default=None,
+                       help="write the telemetry/metrics snapshot here")
+    scope.add_argument("--bench", action="store_true",
+                       help="measure scope-off vs scope-on overhead "
+                            "and check the parity contract")
+    scope.add_argument("--repeats", type=int, default=2,
+                       help="timed runs per bench mode (best reported)")
+    scope.add_argument("--max-overhead", type=float, default=None,
+                       help="with --bench: exit non-zero if overhead "
+                            "exceeds this fraction (e.g. 0.15)")
+    scope.add_argument("--bench-json", default=None,
+                       help="with --bench: write a BENCH_scope.json "
+                            "artifact")
+    scope.set_defaults(fn=_cmd_scope)
 
     export = sub.add_parser("export",
                             help="dump all results as JSON/CSV")

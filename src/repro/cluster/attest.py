@@ -134,6 +134,7 @@ class FleetVerifier:
             user = RemoteUser(self.expected_measurement,
                               self.platform_public)
             net.send(frontend_name, replica.name,
+                     # veil-lint: allow(trace-context) -- control-plane frame: attestation precedes any request, so there is no trace context to carry
                      encode_message({"kind": "attest"}))
             replica.pump()
             reply = self._expect_reply(net, frontend_name, replica.name)
@@ -171,6 +172,7 @@ class FleetVerifier:
                 raise
             # Complete the handshake: hand VeilMon our DH public value so
             # it derives the same key, then provision the data channel.
+            # veil-lint: allow(trace-context) -- control-plane frame: channel setup precedes any request, so there is no trace context to carry
             net.send(frontend_name, replica.name, encode_message({
                 "kind": "channel_init",
                 "peer_public_hex": user.dh.public.to_bytes(256,

@@ -95,6 +95,7 @@ class FleetAuditor:
         reason = "no attempts"
         for _attempt in range(self.CHUNK_ATTEMPTS):
             self.net.send(self.name, link.replica, encode_message(
+                # veil-lint: allow(trace-context) -- control-plane frame: the audit sweep is not part of any client request
                 {"kind": "log_export", "start": start}))
             replica.pump()
             reply = self._chunk_reply(link.replica, start)

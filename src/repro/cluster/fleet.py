@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..errors import AttestationError
 from ..hv.attestation import platform_signing_key
 from ..hw.cycles import CLOCK_HZ
+from ..scope.collector import NULL_SCOPE
 from .attest import AttestedLink, FleetVerifier, RejectedHandshake
 from .auditor import FleetAuditor, FleetAuditReport
 from .frontend import FrontEnd
@@ -107,7 +108,8 @@ class ClusterFleet:
 
     def __init__(self, config: ClusterConfig,
                  tracer: "Tracer | None" = None,
-                 net: InterHostNetwork | None = None):
+                 net: InterHostNetwork | None = None,
+                 scope=None):
         from ..trace.tracer import default_tracer
         self.config = config
         if tracer is None:
@@ -115,6 +117,8 @@ class ClusterFleet:
             # so fleet runs trace like single-machine runs do.
             tracer = default_tracer()
         self.tracer = tracer
+        #: veil-scope observer; NULL_SCOPE (zero-cost no-op) by default.
+        self.scope = scope if scope is not None else NULL_SCOPE
         #: ``net`` lets a caller supply a pre-built fabric -- the chaos
         #: harness wraps the fleet in a fault-injecting subclass this way.
         self.net = net if net is not None else InterHostNetwork(
@@ -131,6 +135,11 @@ class ClusterFleet:
             self.replicas[replica.name] = replica
         self.frontend = FrontEnd(self.net, policy=config.policy,
                                  tracer=tracer)
+        self.frontend.scope = self.scope
+        if scope is not None:
+            # Wire the observer into the fabric too (a caller-supplied
+            # net keeps its own scope when none is given here).
+            self.net.scope = scope
         self.auditor = FleetAuditor(self.net, tracer=tracer)
         # Fleet-wide expected digest: what an *untampered* image of this
         # config measures to (the operator builds the image themselves).
@@ -149,6 +158,7 @@ class ClusterFleet:
         self.clock = clock
         if tracer is not None:
             tracer.attach_ledger(clock)
+        self.scope.attach_clock(clock)
 
     def _reattest(self, name: str) -> AttestedLink:
         """Front-end heal hook: fresh handshake with one replica.
@@ -225,10 +235,11 @@ class ClusterFleet:
 
 
 def run_cluster(config: ClusterConfig | None = None, *,
-                tracer: "Tracer | None" = None) -> ClusterResult:
+                tracer: "Tracer | None" = None,
+                scope=None) -> ClusterResult:
     """Boot, attest, serve, and audit one fleet run."""
     config = config or ClusterConfig()
-    fleet = ClusterFleet(config, tracer=tracer)
+    fleet = ClusterFleet(config, tracer=tracer, scope=scope)
     fleet.attest_all()
     fleet.frontend.reset_schedule()
     fleet.drive(config.requests)

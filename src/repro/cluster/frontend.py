@@ -48,6 +48,8 @@ from dataclasses import dataclass
 from ..crypto import sha256
 from ..errors import AttestationError, SecurityViolation, SimulationError
 from ..hw.cycles import CLOCK_HZ, CycleLedger
+from ..scope.collector import NULL_SCOPE
+from ..scope.context import TraceContext
 from ..trace.tracer import NULL_TRACER
 from .attest import AttestedLink
 from .net import InterHostNetwork, encode_message, try_decode
@@ -175,6 +177,10 @@ class FrontEnd:
         self.policy = make_policy(policy) if isinstance(policy, str) \
             else policy
         self.tracer = tracer or NULL_TRACER
+        #: Fleet-wide request-telemetry observer (veil-scope); the fleet
+        #: swaps in a live collector on scoped runs.  Trace contexts are
+        #: created and propagated regardless -- only observation toggles.
+        self.scope = NULL_SCOPE
         #: The front end is a real host: the fabric charges its ledger.
         self.ledger = CycleLedger()
         net.attach(name, self.ledger)
@@ -276,12 +282,15 @@ class FrontEnd:
             healed += 1
         return healed
 
-    def _note_failure(self, name: str, reason: str) -> None:
+    def _note_failure(self, name: str, reason: str, *,
+                      ctx: "TraceContext | None" = None) -> None:
         """Record one failed attempt against ``name``; maybe quarantine."""
         health = self.health[name]
         health.strikes += 1
         health.failures += 1
         self.retries += 1
+        if ctx is not None:
+            self.scope.retry(ctx, name, reason)
         self.tracer.instant("cluster", "request_retry",
                             args={"replica": name, "reason": reason})
         self.tracer.metrics.count("request_retry", name)
@@ -306,6 +315,14 @@ class FrontEnd:
             raise SimulationError("no attested replicas admitted")
         request_id = self._request_seq
         self._request_seq += 1
+        # One trace context per logical request: trace_id is the
+        # idempotent request id, span 0 is the root, each delivery
+        # attempt is a child span.  Created unconditionally -- the
+        # context rides the wire and must cost the same whether or not
+        # a scope is observing.
+        ctx = TraceContext(trace_id=request_id, span_id=0)
+        klass = str(payload.get("op", "request"))
+        self.scope.request_begin(ctx, klass)
         body = dict(payload, request_id=request_id)
         tried: set[str] = set()
         failures: list[str] = []
@@ -323,55 +340,69 @@ class FrontEnd:
             picked = self.policy.choose(body, candidates, outstanding)
             if attempt > 1:
                 self._backoff(attempt)
-            attempt_result = self._attempt(picked, body, request_id)
+            attempt_result = self._attempt(picked, body, request_id,
+                                           ctx.child(attempt))
             if attempt_result is not None:
-                result, service_cycles = attempt_result
+                result, service_cycles, breakdown = attempt_result
                 self._complete(picked, service_cycles)
+                self.scope.request_end(
+                    ctx, replica=picked, attempts=attempt,
+                    queue_wait=outstanding.get(picked, 0),
+                    service_cycles=service_cycles, breakdown=breakdown)
                 return result
             tried.add(picked)
             failures.append(picked)
-        raise SimulationError(
-            f"request {request_id} failed after {len(failures)} attempts "
-            f"(replicas tried: {', '.join(failures) or 'none'})")
+        reason = (f"request {request_id} failed after {len(failures)} "
+                  f"attempts (replicas tried: "
+                  f"{', '.join(failures) or 'none'})")
+        self.scope.request_failed(ctx, reason)
+        raise SimulationError(reason)
 
-    def _attempt(self, picked: str, body: dict,
-                 request_id: int) -> "tuple[dict, int] | None":
+    def _attempt(self, picked: str, body: dict, request_id: int,
+                 ctx: TraceContext) -> "tuple[dict, int, dict] | None":
         """One sealed round trip to ``picked``; ``None`` on any failure."""
         link = self._links[picked]
         replica = self._replicas[picked]
         with self.tracer.span("cluster", "route",
                               args={"replica": picked,
-                                    "policy": self.policy.name}):
-            before = replica.ledger.total
+                                    "policy": self.policy.name,
+                                    "trace_id": ctx.trace_id,
+                                    "span_id": ctx.span_id}):
+            before = replica.ledger.snapshot()
             try:
                 sealed = link.data.send(body)
             except SecurityViolation as refused:
-                self._note_failure(picked, f"seal failed: {refused}")
+                self._note_failure(picked, f"seal failed: {refused}",
+                                   ctx=ctx)
                 return None
             self.net.send(self.name, picked, encode_message(
                 {"kind": "request", "request_id": request_id,
-                 "record_hex": sealed.hex()}))
+                 "record_hex": sealed.hex(),
+                 "trace": ctx.as_wire()}))
             replica.pump()
             reply = self._reply_for(request_id, picked)
             if reply is None:
-                self._note_failure(picked, "no reply")
+                self._note_failure(picked, "no reply", ctx=ctx)
                 return None
             if reply.get("status") != "ok":
                 self._note_failure(
-                    picked, str(reply.get("reason", "refused")))
+                    picked, str(reply.get("reason", "refused")), ctx=ctx)
                 return None
             try:
                 result = link.data.receive(
                     bytes.fromhex(reply["record_hex"]))
             except (KeyError, ValueError) as malformed:
                 self._note_failure(picked,
-                                   f"malformed reply: {malformed}")
+                                   f"malformed reply: {malformed}",
+                                   ctx=ctx)
                 return None
             except SecurityViolation as tampered:
                 self._note_failure(picked,
-                                   f"tampered reply: {tampered}")
+                                   f"tampered reply: {tampered}",
+                                   ctx=ctx)
                 return None
-            return result, replica.ledger.total - before
+            delta = replica.ledger.since(before)
+            return result, delta.total, dict(delta.by_category)
 
     def _reply_for(self, request_id: int, picked: str) -> dict | None:
         """Drain this host's inbox for ``picked``'s reply to this attempt.

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..errors import SimulationError
+from ..scope.collector import NULL_SCOPE
 from ..trace.tracer import NULL_TRACER
 
 if typing.TYPE_CHECKING:
@@ -94,6 +95,9 @@ class InterHostNetwork:
     def __init__(self, cost: NetCostModel | None = None, tracer=None):
         self.cost = cost or NetCostModel()
         self.tracer = tracer or NULL_TRACER
+        #: Fleet-wide observer (veil-scope); swapped in by the fleet
+        #: when a run is scoped.  Observation only -- it never charges.
+        self.scope = NULL_SCOPE
         self._endpoints: dict[str, HostEndpoint] = {}
         self.messages = 0
         self.bytes_moved = 0
@@ -131,6 +135,8 @@ class InterHostNetwork:
         link = f"{src}->{dst}"
         self.tracer.metrics.count("net_msgs", link)
         self.tracer.metrics.count("net_bytes", link, len(payload))
+        if self.scope.enabled:
+            self.scope.on_message(src, dst, payload)
 
     def recv(self, dst: str) -> tuple[str, bytes]:
         """Pop the oldest pending message for ``dst``."""

@@ -31,6 +31,7 @@ from ..core.services.base import ProtectedService
 from ..crypto import SecureChannel, sha256
 from ..errors import SecurityViolation
 from ..kernel.net import AF_INET, SOCK_STREAM
+from ..scope.context import TraceContext, extract_context
 from ..workloads.audit_programs import (MEMCACHED_COMPUTE_PER_OP,
                                         MEMCACHED_VALUE_BYTES)
 from ..workloads.base import NativeApi
@@ -268,19 +269,28 @@ class ClusterReplica:
             return dict(reply, start=start)
         if kind == "request":
             request_id = message.get("request_id")
+            # Propagated trace context (veil-scope): extracted and
+            # echoed regardless of observation, so reply bytes -- and
+            # with them fabric cycle charges -- never depend on whether
+            # a collector is attached.
+            ctx = extract_context(message)
             try:
                 sealed = bytes.fromhex(message.get("record_hex", ""))
             except ValueError:
-                return {"status": "error", "request_id": request_id,
-                        "reason": "malformed record"}
-            reply = self._handle_request(sealed)
-            reply["request_id"] = request_id
+                reply = {"status": "error", "request_id": request_id,
+                         "reason": "malformed record"}
+            else:
+                reply = self._handle_request(sealed, ctx)
+                reply["request_id"] = request_id
+            if ctx is not None:
+                reply["trace"] = ctx.as_wire()
             return reply
         return {"status": "error", "reason": f"unknown kind {kind!r}"}
 
     # -- the service replica --------------------------------------------
 
-    def _handle_request(self, sealed: bytes) -> dict:
+    def _handle_request(self, sealed: bytes,
+                        ctx: "TraceContext | None" = None) -> dict:
         """Unseal one data record, serve it, and seal the response.
 
         Tampered, replayed, or out-of-window records are refused (the
@@ -306,9 +316,16 @@ class ClusterReplica:
             self.tracer.metrics.count("idempotent_replay", self.name)
             result = cached
         else:
+            span_args = {"replica": self.name}
+            if ctx is not None:
+                # Link this serve span to the front end's request trace
+                # (args come off the wire, so they are identical with
+                # scope on or off).
+                span_args["trace_id"] = ctx.trace_id
+                span_args["span_id"] = ctx.span_id
             with self.tracer.span("cluster", f"serve:{self.workload}",
                                   vcpu=self.core.cpu_index,
-                                  args={"replica": self.name}):
+                                  args=span_args):
                 if self.workload == "memcached":
                     result = self._serve_memcached(request)
                 else:

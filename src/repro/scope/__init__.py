@@ -1,0 +1,48 @@
+"""veil-scope: fleet-wide distributed tracing + request telemetry.
+
+Where :mod:`repro.trace` records what happens *inside* one machine,
+``repro.scope`` follows one request *across* machines: a
+:class:`TraceContext` (``trace_id`` / ``span_id`` / parent) rides every
+fabric envelope from the front end through the untrusted network into a
+replica CVM and back, and a :class:`FleetScope` collector turns the
+journey into request-scoped telemetry — arrival, queue wait, retries,
+serving replica, per-layer cycle breakdown — feeding HDR-style latency
+histograms with exact p50/p95/p99 per workload class.
+
+Design rules (the determinism contract, extended fleet-wide):
+
+1. **Context is always on.**  The trace-context envelope field is
+   attached to fabric messages unconditionally, whether or not anyone
+   is observing: envelope bytes feed the network cost model, so an
+   optional field would change cycle charges.  Scope on/off only swaps
+   the *observer* (:class:`FleetScope` vs :data:`NULL_SCOPE`); ledgers
+   and per-machine traces stay byte-identical either way (a tested
+   invariant, ``tests/trace/test_scope_parity.py``).
+2. **Virtual clock.**  Every scope timestamp reads the
+   :class:`~repro.cluster.fleet.FleetClock` (the sum of all host
+   ledgers), so merged timelines are a pure function of simulated work.
+3. **Leaf layer.**  ``scope`` imports only ``trace`` and ``errors``; it
+   peeks at wire bytes with its own envelope decoder rather than
+   reaching up into ``cluster``.  The layers above (cluster, chaos,
+   bench, CLI) push observations *down* into it.
+
+See ``docs/OBSERVABILITY.md`` ("veil-scope") for the merged-timeline
+format and how to read it.
+"""
+
+from .collector import (NULL_SCOPE, FaultEvent, FleetScope, HopEvent,
+                        NullScope, RequestRecord)
+from .context import (TRACE_KEY, TraceContext, attach_context,
+                      extract_context, peek_context)
+from .export import (dumps_merged_trace, merged_chrome_trace,
+                     render_scope_summary, scope_snapshot,
+                     write_merged_trace, write_scope_json)
+
+__all__ = [
+    "TraceContext", "TRACE_KEY", "attach_context", "extract_context",
+    "peek_context",
+    "FleetScope", "NullScope", "NULL_SCOPE", "RequestRecord",
+    "HopEvent", "FaultEvent",
+    "merged_chrome_trace", "dumps_merged_trace", "write_merged_trace",
+    "scope_snapshot", "write_scope_json", "render_scope_summary",
+]

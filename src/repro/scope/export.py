@@ -1,0 +1,225 @@
+"""Merged fleet exporter: one Perfetto timeline for the whole fleet.
+
+The per-machine exporter (:func:`repro.trace.export.chrome_trace`)
+already merges every CVM's spans onto the fleet clock — all machines
+share one tracer.  This module layers the *cross-machine* story on top:
+
+* ``pid 90 fleet:requests`` — one async span (``ph`` ``b``/``e``, the
+  Chrome format's cross-thread span) per logical request, ``id``-ed by
+  its ``trace_id``, with retry instants inline;
+* ``pid 91 fleet:fabric`` — an instant per fabric hop, carrying the
+  peeked trace context so a request's crossings are searchable by id;
+* ``pid 92 fleet:chaos`` — fault instants: drop/corrupt/delay/dup from
+  the chaotic fabric plus the crash/restart/quarantine instants lifted
+  from the shared tracer, so every injected misbehavior sits inline on
+  the same timeline as the requests it disturbed.
+
+Everything inherits the determinism contract: the merged export of two
+identical runs is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from ..trace.export import chrome_trace
+
+if typing.TYPE_CHECKING:
+    from .collector import FleetScope
+
+#: Synthetic process ids for the fleet-level tracks (the per-machine
+#: tracks use vcpu indices and 99 for unattributed; these sit above).
+REQUESTS_TRACK = 90
+FABRIC_TRACK = 91
+CHAOS_TRACK = 92
+
+#: Tracer instants re-emitted onto the chaos track: every ``chaos``
+#: category instant, plus the front end's quarantine marker.
+_LIFTED_CLUSTER_INSTANTS = ("replica_quarantined", "reattest_failed")
+
+
+def _track_metadata() -> list:
+    """Name the three fleet-level tracks."""
+    events = []
+    for pid, name in ((REQUESTS_TRACK, "fleet:requests"),
+                      (FABRIC_TRACK, "fleet:fabric"),
+                      (CHAOS_TRACK, "fleet:chaos")):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+    return events
+
+
+def _request_events(scope: "FleetScope") -> list:
+    """Async begin/end pair + retry instants per request record."""
+    events = []
+    for record in scope.records:
+        ident = str(record.trace_id)
+        name = f"request:{record.klass}"
+        events.append({
+            "ph": "b", "cat": "fleet", "id": ident, "name": name,
+            "pid": REQUESTS_TRACK, "tid": 0, "ts": record.arrival,
+            "args": {"trace_id": record.trace_id,
+                     "class": record.klass}})
+        for ts, replica, reason in record.retries:
+            events.append({
+                "ph": "i", "cat": "fleet", "s": "t",
+                "name": f"retry:{replica}",
+                "pid": REQUESTS_TRACK, "tid": 0, "ts": ts,
+                "args": {"trace_id": record.trace_id,
+                         "reason": reason}})
+        events.append({
+            "ph": "e", "cat": "fleet", "id": ident, "name": name,
+            "pid": REQUESTS_TRACK, "tid": 0, "ts": record.end,
+            "args": {"trace_id": record.trace_id,
+                     "status": record.status,
+                     "replica": record.replica,
+                     "attempts": record.attempts,
+                     "latency": record.latency,
+                     "queue_wait": record.queue_wait,
+                     "service_cycles": record.service_cycles}})
+    return events
+
+
+def _hop_events(scope: "FleetScope") -> list:
+    """One instant per fabric crossing."""
+    events = []
+    for hop in scope.hops:
+        args = {"bytes": hop.nbytes}
+        if hop.trace_id is not None:
+            args["trace_id"] = hop.trace_id
+            args["span_id"] = hop.span_id
+        events.append({
+            "ph": "i", "cat": "fleet", "s": "t",
+            "name": f"{hop.src}->{hop.dst}",
+            "pid": FABRIC_TRACK, "tid": 0, "ts": hop.ts, "args": args})
+    return events
+
+
+def _fault_events(scope: "FleetScope", tracer) -> list:
+    """Scope-recorded faults + chaos instants lifted from the tracer."""
+    events = []
+    for fault in scope.faults:
+        args = {"subject": fault.subject}
+        if fault.detail:
+            args["detail"] = fault.detail
+        events.append({
+            "ph": "i", "cat": "fleet", "s": "t",
+            "name": f"fault:{fault.kind}",
+            "pid": CHAOS_TRACK, "tid": 0, "ts": fault.ts, "args": args})
+    for event in tracer.events:
+        if event.phase != "i":
+            continue
+        if event.category != "chaos" and not (
+                event.category == "cluster" and
+                event.name in _LIFTED_CLUSTER_INSTANTS):
+            continue
+        events.append({
+            "ph": "i", "cat": "fleet", "s": "t",
+            "name": f"fault:{event.name}",
+            "pid": CHAOS_TRACK, "tid": 0, "ts": event.ts,
+            "args": event.args_dict()})
+    return events
+
+
+def scope_snapshot(scope: "FleetScope") -> dict:
+    """Deterministic JSON snapshot of everything the scope collected."""
+    return {
+        "requests": [record.as_dict() for record in scope.records],
+        "hops": len(scope.hops),
+        "faults": [{"ts": f.ts, "kind": f.kind, "subject": f.subject,
+                    "detail": f.detail} for f in scope.faults],
+        "metrics": scope.metrics.dump(),
+    }
+
+
+def merged_chrome_trace(tracer, scope: "FleetScope") -> dict:
+    """The per-machine trace plus the fleet-level tracks, one object."""
+    trace = chrome_trace(tracer)
+    events = trace["traceEvents"]
+    events.extend(_track_metadata())
+    events.extend(_request_events(scope))
+    events.extend(_hop_events(scope))
+    events.extend(_fault_events(scope, tracer))
+    trace["otherData"]["scope"] = scope_snapshot(scope)
+    return trace
+
+
+def dumps_merged_trace(tracer, scope: "FleetScope") -> str:
+    """Serialize deterministically (sorted keys, no whitespace)."""
+    return json.dumps(merged_chrome_trace(tracer, scope),
+                      sort_keys=True, separators=(",", ":"))
+
+
+def write_merged_trace(tracer, scope: "FleetScope", path) -> None:
+    """Write the merged fleet Chrome trace-event JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_merged_trace(tracer, scope))
+        fh.write("\n")
+
+
+def write_scope_json(scope: "FleetScope", path) -> None:
+    """Write the scope snapshot (metrics + records) to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(scope_snapshot(scope), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_scope_summary(scope: "FleetScope") -> str:
+    """Human-readable fleet telemetry report."""
+    lines = ["veil-scope fleet telemetry"]
+    ok = [r for r in scope.records if r.status == "ok"]
+    failed = [r for r in scope.records if r.status == "failed"]
+    retried = sum(len(r.retries) for r in scope.records)
+    lines.append(f"  requests: {len(ok):,} served, {len(failed):,} "
+                 f"failed, {retried:,} retried attempts, "
+                 f"{len(scope.hops):,} fabric hops")
+
+    latencies = scope.metrics.latencies_named("latency")
+    if latencies:
+        lines.append("")
+        lines.append(f"  {'class':<10} {'count':>7} {'p50 cyc':>12} "
+                     f"{'p95 cyc':>12} {'p99 cyc':>12} {'max cyc':>12}")
+        for klass in sorted(latencies):
+            hist = latencies[klass]
+            pct = hist.percentiles()
+            lines.append(
+                f"  {klass:<10} {hist.count:>7,} {pct['p50']:>12,} "
+                f"{pct['p95']:>12,} {pct['p99']:>12,} {hist.max:>12,}")
+
+    waits = scope.metrics.latencies_named("queue_wait")
+    if waits:
+        lines.append("")
+        lines.append(f"  {'queue wait':<10} {'count':>7} {'p50 cyc':>12} "
+                     f"{'p95 cyc':>12} {'p99 cyc':>12} {'max cyc':>12}")
+        for klass in sorted(waits):
+            hist = waits[klass]
+            pct = hist.percentiles()
+            lines.append(
+                f"  {klass:<10} {hist.count:>7,} {pct['p50']:>12,} "
+                f"{pct['p95']:>12,} {pct['p99']:>12,} {hist.max:>12,}")
+
+    layers = scope.metrics.counters_named("layer_cycles")
+    if layers:
+        total = sum(layers.values())
+        lines.append("")
+        lines.append(f"  {'layer (served attempts)':<24} "
+                     f"{'cycles':>14} {'share':>8}")
+        for category, cycles in sorted(layers.items(),
+                                       key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {category:<24} {cycles:>14,} "
+                         f"{cycles / total:>8.1%}")
+
+    served = scope.metrics.counters_named("served_by")
+    if served:
+        lines.append("")
+        lines.append("  served by: " + ", ".join(
+            f"{name}={served[name]:,}" for name in sorted(served)))
+
+    faults = scope.metrics.counters_named("faults")
+    if faults:
+        lines.append("  faults: " + ", ".join(
+            f"{kind}={faults[kind]:,}" for kind in sorted(faults)))
+    return "\n".join(lines)

@@ -17,7 +17,8 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and usage.
 
 from .export import (chrome_trace, dumps_chrome_trace, render_summary,
                      validate_chrome_trace, write_chrome_trace)
-from .metrics import NULL_METRICS, CycleHistogram, MetricsRegistry, NullMetrics
+from .metrics import (LATENCY_SUB_BITS, NULL_METRICS, CycleHistogram,
+                      LatencyHistogram, MetricsRegistry, NullMetrics)
 from .tracer import (DEFAULT_CAPACITY, NULL_SPAN, NULL_TRACER, UNATTRIBUTED,
                      NullTracer, TraceEvent, Tracer, default_tracer,
                      set_default_tracer)
@@ -26,7 +27,8 @@ __all__ = [
     "Tracer", "NullTracer", "TraceEvent", "NULL_SPAN", "NULL_TRACER",
     "UNATTRIBUTED", "DEFAULT_CAPACITY", "default_tracer",
     "set_default_tracer",
-    "MetricsRegistry", "CycleHistogram", "NullMetrics", "NULL_METRICS",
+    "MetricsRegistry", "CycleHistogram", "LatencyHistogram",
+    "LATENCY_SUB_BITS", "NullMetrics", "NULL_METRICS",
     "chrome_trace", "dumps_chrome_trace", "write_chrome_trace",
     "validate_chrome_trace", "render_summary",
 ]

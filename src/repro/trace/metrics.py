@@ -63,6 +63,130 @@ class CycleHistogram:
         }
 
 
+#: Sub-bucket precision of :class:`LatencyHistogram`: every recorded
+#: value keeps its top ``LATENCY_SUB_BITS + 1`` significant bits, so the
+#: quantization error is bounded below ``2**-LATENCY_SUB_BITS`` (< 0.4%)
+#: and every value smaller than ``2**(LATENCY_SUB_BITS + 1)`` is exact.
+LATENCY_SUB_BITS = 8
+
+#: Default saturation point (cycles).  2**48 cycles is ~26 hours of
+#: simulated time at the 3 GHz nominal clock -- far beyond any run.
+LATENCY_MAX_VALUE = 1 << 48
+
+
+class LatencyHistogram:
+    """Fixed-bucket HDR-style distribution with exact-rank percentiles.
+
+    Where :class:`CycleHistogram` keeps a coarse power-of-two profile,
+    this records enough resolution to answer p50/p95/p99 queries the way
+    a sorted sample would: the value range is covered by logarithmic
+    buckets each split into ``2**LATENCY_SUB_BITS`` linear sub-buckets
+    (the HdrHistogram layout), so bucket membership loses at most the
+    bits below the top ``LATENCY_SUB_BITS + 1`` -- values up to
+    ``2**(LATENCY_SUB_BITS + 1)`` are recorded exactly, larger ones with
+    relative error below ``2**-LATENCY_SUB_BITS``.  Storage is a sparse
+    Counter over bucket indices, so memory is bounded by the number of
+    *distinct* quantized values, never the observation count.
+
+    Percentiles use the nearest-rank definition: ``percentile(p)`` over
+    ``n`` observations is the value at sorted index
+    ``ceil(p/100 * n) - 1``, reported as the lowest value mapping to the
+    matched bucket.  Values above ``max_value`` saturate into a
+    dedicated overflow bucket (counted in :attr:`overflow`) and report
+    as ``max_value`` so a runaway outlier can never silently vanish.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "overflow",
+                 "max_value", "buckets")
+
+    def __init__(self, max_value: int = LATENCY_MAX_VALUE):
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+        #: Observations that exceeded ``max_value`` (also in ``count``).
+        self.overflow = 0
+        self.max_value = max_value
+        self.buckets: Counter[int] = Counter()
+
+    @staticmethod
+    def _index(value: int) -> int:
+        """Bucket index: (shift, top bits) packed into one integer."""
+        shift = value.bit_length() - (LATENCY_SUB_BITS + 1)
+        if shift <= 0:
+            return value
+        return (shift << (LATENCY_SUB_BITS + 1)) | (value >> shift)
+
+    @staticmethod
+    def _value(index: int) -> int:
+        """Lowest value mapping to bucket ``index`` (inverse of _index)."""
+        shift = index >> (LATENCY_SUB_BITS + 1)
+        if shift == 0:
+            return index
+        return (index & ((1 << (LATENCY_SUB_BITS + 1)) - 1)) << shift
+
+    def observe(self, cycles: int) -> None:
+        """Record one observation of ``cycles`` (negatives clamp to 0)."""
+        if cycles < 0:
+            cycles = 0
+        if self.count == 0:
+            self.min = cycles
+            self.max = cycles
+        else:
+            if cycles < self.min:
+                self.min = cycles
+            if cycles > self.max:
+                self.max = cycles
+        self.count += 1
+        self.total += cycles
+        if cycles > self.max_value:
+            self.overflow += 1
+            cycles = self.max_value
+        self.buckets[self._index(cycles)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile ``p`` in ``[0, 100]`` (0 when empty)."""
+        if self.count == 0:
+            return 0
+        if p <= 0:
+            rank = 1
+        else:
+            # ceil(p/100 * n), in exact integer math for integral p.
+            if float(p).is_integer():
+                rank = -((-int(p) * self.count) // 100)
+            else:
+                rank = -int(-p * self.count // 100)
+            rank = min(max(rank, 1), self.count)
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return self._value(index)
+        return self._value(max(self.buckets))          # pragma: no cover
+
+    def percentiles(self, points=(50, 95, 99)) -> dict:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for ``points``."""
+        return {f"p{point:g}": self.percentile(point) for point in points}
+
+    def as_dict(self) -> dict:
+        """Deterministic plain-data form for export/dumps."""
+        out = {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "overflow": self.overflow,
+        }
+        out.update(self.percentiles())
+        return out
+
+
 class MetricsRegistry:
     """Named counters plus per-key cycle histograms.
 
@@ -76,6 +200,7 @@ class MetricsRegistry:
     def __init__(self):
         self.counters: Counter[str] = Counter()
         self.histograms: dict[str, CycleHistogram] = {}
+        self.latencies: dict[str, LatencyHistogram] = {}
 
     def count(self, name: str, key: str | None = None, n: int = 1) -> None:
         """Increment counter ``name`` (or ``name/key``) by ``n``."""
@@ -89,6 +214,15 @@ class MetricsRegistry:
             hist = self.histograms[full] = CycleHistogram()
         hist.observe(cycles)
 
+    def record_latency(self, name: str, key: str, cycles: int) -> None:
+        """Record ``cycles`` into the percentile-grade ``name/key``
+        latency histogram (veil-scope request telemetry)."""
+        full = f"{name}/{key}"
+        hist = self.latencies.get(full)
+        if hist is None:
+            hist = self.latencies[full] = LatencyHistogram()
+        hist.observe(cycles)
+
     def counter(self, name: str, key: str | None = None) -> int:
         """Current value of a counter (0 if never incremented)."""
         return self.counters[name if key is None else f"{name}/{key}"]
@@ -96,6 +230,16 @@ class MetricsRegistry:
     def histogram(self, name: str, key: str) -> CycleHistogram | None:
         """The histogram at ``name/key``, or None if never observed."""
         return self.histograms.get(f"{name}/{key}")
+
+    def latency(self, name: str, key: str) -> LatencyHistogram | None:
+        """The latency histogram at ``name/key``, or None."""
+        return self.latencies.get(f"{name}/{key}")
+
+    def latencies_named(self, name: str) -> dict:
+        """All ``name/<key>`` latency histograms, keyed by ``<key>``."""
+        prefix = f"{name}/"
+        return {k[len(prefix):]: v for k, v in
+                sorted(self.latencies.items()) if k.startswith(prefix)}
 
     def counters_named(self, name: str) -> dict[str, int]:
         """All ``name/<key>`` counters, keyed by ``<key>``."""
@@ -109,6 +253,8 @@ class MetricsRegistry:
             "counters": dict(sorted(self.counters.items())),
             "histograms": {k: self.histograms[k].as_dict()
                            for k in sorted(self.histograms)},
+            "latency": {k: self.latencies[k].as_dict()
+                        for k in sorted(self.latencies)},
         }
 
 
@@ -117,11 +263,15 @@ class NullMetrics:
 
     counters: Counter = Counter()
     histograms: dict = {}
+    latencies: dict = {}
 
     def count(self, name, key=None, n=1) -> None:
         """No-op (tracing disabled)."""
 
     def observe(self, name, key, cycles) -> None:
+        """No-op (tracing disabled)."""
+
+    def record_latency(self, name, key, cycles) -> None:
         """No-op (tracing disabled)."""
 
     def counter(self, name, key=None) -> int:
@@ -132,13 +282,21 @@ class NullMetrics:
         """Always None."""
         return None
 
+    def latency(self, name, key):
+        """Always None."""
+        return None
+
+    def latencies_named(self, name) -> dict:
+        """Always empty."""
+        return {}
+
     def counters_named(self, name) -> dict:
         """Always empty."""
         return {}
 
     def dump(self) -> dict:
         """The empty registry snapshot."""
-        return {"counters": {}, "histograms": {}}
+        return {"counters": {}, "histograms": {}, "latency": {}}
 
 
 #: Process-wide shared no-op registry.

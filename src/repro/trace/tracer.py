@@ -66,11 +66,36 @@ class TraceEvent:
         return dict(self.args)
 
 
+def _coerce_value(value):
+    """Coerce one span-arg value into a JSON-exportable form.
+
+    Coercion happens at *record* time so a bad arg surfaces at the
+    offending span, not hundreds of events later at export: primitives
+    pass through, bytes become hex, containers recurse, and anything
+    else is captured as ``repr()`` (callers owe a deterministic repr —
+    the byte-identical-trace parity tests catch one that isn't).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if isinstance(value, (tuple, list)):
+        return [_coerce_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _coerce_value(v) for k, v in value.items()}
+    return repr(value)
+
+
 def _freeze_args(args) -> tuple:
-    """Normalize caller args into a deterministic sorted tuple."""
+    """Normalize caller args into a deterministic sorted tuple.
+
+    Values are coerced (:func:`_coerce_value`) here rather than at
+    export, so every recorded :class:`TraceEvent` is serializable by
+    construction.
+    """
     if not args:
         return ()
-    return tuple(sorted(args.items()))
+    return tuple(sorted((str(k), _coerce_value(v)) for k, v in args.items()))
 
 
 class _Span:

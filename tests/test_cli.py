@@ -12,8 +12,8 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
-                                    "cluster", "chaos", "lint", "flow",
-                                    "trace", "turbo", "profile",
+                                    "cluster", "chaos", "scope", "lint",
+                                    "flow", "trace", "turbo", "profile",
                                     "export", "ablations", "all"}
 
     def test_missing_command_errors(self):
@@ -61,6 +61,24 @@ class TestCommands:
         assert "veil-chaos" in out
         assert "replayable from the seed" in out
         assert "no plaintext" in out and "audit chains OK" in out
+
+    def test_scope(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet.json"
+        main(["scope", "cluster", "--replicas", "2", "--requests", "16",
+              "--seed", "2", "--out", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "veil-scope" in out
+        assert "p50" in out and "p99" in out
+        assert "faults:" in out
+        assert trace_path.exists()
+
+    def test_scope_bench_gate(self, capsys):
+        main(["scope", "cluster", "--bench", "--requests", "30",
+              "--replicas", "2", "--repeats", "1",
+              "--max-overhead", "5.0"])
+        out = capsys.readouterr().out
+        assert "cycle parity: OK" in out
+        assert "trace parity: OK" in out
 
     def test_lint_clean_tree(self, capsys):
         main(["lint"])

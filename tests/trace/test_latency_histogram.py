@@ -1,0 +1,185 @@
+"""LatencyHistogram correctness: exact ranks, bucket edges, overflow.
+
+The histogram's claim is precise: every value below
+``2**(LATENCY_SUB_BITS + 1)`` is recorded exactly, larger values with
+relative error below ``2**-LATENCY_SUB_BITS``, and percentiles follow
+the nearest-rank definition (``ceil(p/100 * n)``).  These tests check
+the claim against a brute-force sorted reference corpus rather than
+against the histogram's own arithmetic.
+"""
+
+import pytest
+
+from repro.trace import LATENCY_SUB_BITS, LatencyHistogram
+
+#: Largest exactly-representable value (one linear bucket per integer).
+EXACT_LIMIT = 1 << (LATENCY_SUB_BITS + 1)
+
+
+def reference_percentile(corpus: list, p: float) -> int:
+    """Brute-force nearest-rank percentile over a sorted copy."""
+    ordered = sorted(corpus)
+    import math
+    rank = max(1, math.ceil(p * len(ordered) / 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def quantize(value: int) -> int:
+    """The value the histogram is allowed to report for ``value``."""
+    return LatencyHistogram._value(LatencyHistogram._index(value))
+
+
+def lcg_corpus(n: int, modulus: int, seed: int = 1234) -> list:
+    """Deterministic pseudo-random corpus (no ambient entropy)."""
+    state = seed
+    out = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        out.append(state % modulus)
+    return out
+
+
+class TestExactRange:
+    """Below EXACT_LIMIT the histogram must match a sorted list exactly."""
+
+    @pytest.mark.parametrize("p", [0, 1, 25, 50, 75, 90, 95, 99, 100])
+    def test_small_values_give_exact_percentiles(self, p):
+        corpus = lcg_corpus(997, EXACT_LIMIT)
+        hist = LatencyHistogram()
+        for value in corpus:
+            hist.observe(value)
+        assert hist.percentile(p) == reference_percentile(corpus, p)
+
+    def test_single_observation_is_every_percentile(self):
+        hist = LatencyHistogram()
+        hist.observe(137)
+        for p in (0, 1, 50, 99, 100):
+            assert hist.percentile(p) == 137
+
+    def test_two_observations_split_at_the_median_rank(self):
+        hist = LatencyHistogram()
+        hist.observe(10)
+        hist.observe(20)
+        # nearest-rank: p50 of n=2 is rank ceil(1.0)=1 -> the lower value
+        assert hist.percentile(50) == 10
+        assert hist.percentile(51) == 20
+        assert hist.percentile(100) == 20
+
+    def test_fractional_percentile_points(self):
+        # 997 values inside the exact range; p*n/100 lands well away
+        # from integer rank boundaries, so float rounding is benign
+        corpus = lcg_corpus(997, EXACT_LIMIT)
+        hist = LatencyHistogram()
+        for value in corpus:
+            hist.observe(value)
+        assert hist.percentile(99.9) == reference_percentile(corpus, 99.9)
+        assert hist.percentile(0.1) == reference_percentile(corpus, 0.1)
+
+
+class TestQuantizedRange:
+    """Above EXACT_LIMIT: error below 2**-LATENCY_SUB_BITS, never above."""
+
+    def test_large_corpus_tracks_reference_within_bound(self):
+        corpus = lcg_corpus(1500, 10_000_000)
+        hist = LatencyHistogram()
+        for value in corpus:
+            hist.observe(value)
+        for p in (50, 90, 95, 99):
+            exact = reference_percentile(corpus, p)
+            got = hist.percentile(p)
+            # reported as the lowest value of the matched bucket: never
+            # above the true value, within one sub-bucket below it
+            assert got <= exact
+            assert exact - got <= exact / (1 << LATENCY_SUB_BITS)
+
+    def test_reported_value_is_the_quantized_true_value(self):
+        corpus = lcg_corpus(800, 5_000_000)
+        hist = LatencyHistogram()
+        for value in corpus:
+            hist.observe(value)
+        for p in (50, 95, 99):
+            assert hist.percentile(p) == quantize(
+                reference_percentile(corpus, p))
+
+
+class TestBucketBoundaries:
+    """Edges around the exact/quantized boundary must not misfile."""
+
+    @pytest.mark.parametrize("value", [
+        0, 1, EXACT_LIMIT - 2, EXACT_LIMIT - 1, EXACT_LIMIT,
+        EXACT_LIMIT + 1, 2 * EXACT_LIMIT - 1, 2 * EXACT_LIMIT,
+        2 * EXACT_LIMIT + 1])
+    def test_round_trip_at_boundaries(self, value):
+        reported = quantize(value)
+        assert reported <= value
+        if value < EXACT_LIMIT:
+            assert reported == value
+        else:
+            assert value - reported <= value >> LATENCY_SUB_BITS
+
+    def test_boundary_neighbours_stay_ordered(self):
+        # quantization must be monotone: sorting buckets sorts values
+        values = list(range(EXACT_LIMIT - 4, EXACT_LIMIT + 5)) + \
+            [2 ** k + d for k in range(10, 24) for d in (-1, 0, 1)]
+        indices = [LatencyHistogram._index(v) for v in sorted(values)]
+        assert indices == sorted(indices)
+
+    def test_distinct_small_values_get_distinct_buckets(self):
+        hist = LatencyHistogram()
+        for value in range(EXACT_LIMIT):
+            hist.observe(value)
+        assert len(hist.buckets) == EXACT_LIMIT
+
+
+class TestOverflowAndClamping:
+    def test_overflow_is_counted_and_saturates(self):
+        hist = LatencyHistogram(max_value=1000)
+        hist.observe(999)
+        hist.observe(5000)
+        hist.observe(7000)
+        assert hist.count == 3
+        assert hist.overflow == 2
+        # saturated observations report as max_value, true max survives
+        assert hist.percentile(100) == quantize(1000)
+        assert hist.max == 7000
+        assert hist.total == 999 + 5000 + 7000
+
+    def test_overflow_keeps_rank_accounting(self):
+        hist = LatencyHistogram(max_value=100)
+        for value in (10, 20, 30, 500, 600):
+            hist.observe(value)
+        # ranks 4 and 5 are the saturated pair
+        assert hist.percentile(80) == quantize(100)
+        assert hist.percentile(60) == 30
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.observe(-50)
+        assert hist.count == 1
+        assert hist.min == 0
+        assert hist.percentile(50) == 0
+        assert hist.overflow == 0
+
+    def test_empty_histogram_reports_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) == 0
+        assert hist.percentiles() == {"p50": 0, "p95": 0, "p99": 0}
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+        hist = LatencyHistogram()
+        for value in (1, 2, 3):
+            hist.observe(value)
+        data = json.loads(json.dumps(hist.as_dict()))
+        assert data["count"] == 3
+        assert data["p50"] == 2
+        assert data["overflow"] == 0
+
+
+class TestSparseStorage:
+    def test_memory_bounded_by_distinct_quantized_values(self):
+        hist = LatencyHistogram()
+        for _ in range(10_000):
+            hist.observe(123_456_789)
+        assert hist.count == 10_000
+        assert len(hist.buckets) == 1

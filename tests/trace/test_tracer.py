@@ -106,7 +106,8 @@ class TestRingBuffer:
         assert len(tracer.events) == 0
         assert tracer.recorded == 0
         assert tracer.metrics.dump() == {"counters": {},
-                                         "histograms": {}}
+                                         "histograms": {},
+                                         "latency": {}}
 
 
 class TestMetrics:
@@ -167,7 +168,8 @@ class TestNullTracer:
         assert tracer.recorded == 0
         tracer.metrics.count("syscall", "open")
         assert tracer.metrics.dump() == {"counters": {},
-                                         "histograms": {}}
+                                         "histograms": {},
+                                         "latency": {}}
 
     def test_singleton_attach_ledger_is_noop(self):
         NULL_TRACER.attach_ledger(FakeLedger())
@@ -183,3 +185,74 @@ class TestDefaultTracer:
         finally:
             set_default_tracer(None)
         assert default_tracer() is None
+
+
+class TestArgCoercion:
+    """Span args are coerced at record time, not at export time.
+
+    Regression: a span recorded with a non-JSON-serializable arg (bytes,
+    an exception object, a tuple-keyed mapping...) used to survive until
+    ``chrome_trace`` serialization and blow up there -- far from the
+    call site that recorded it.  Coercion now happens in ``_freeze_args``
+    when the event is recorded.
+    """
+
+    def test_non_serializable_arg_is_coerced_at_record_time(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        tracer = Tracer()
+        tracer.instant("hw", "weird", args={"obj": Opaque()})
+        (event,) = tracer.events
+        assert event.args_dict() == {"obj": "<opaque thing>"}
+
+    def test_recorded_args_always_export_as_json(self):
+        import json
+        from repro.trace import dumps_chrome_trace
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        tracer = Tracer()
+        with tracer.span("hw", "mixed", args={
+                "obj": Opaque(),
+                "blob": b"\x00\xff",
+                "pair": (1, "two"),
+                "nested": {"inner": bytearray(b"\x01")},
+                "num": 7, "flag": True, "none": None}):
+            pass
+        json.loads(dumps_chrome_trace(tracer))
+
+    def test_bytes_become_hex(self):
+        tracer = Tracer()
+        tracer.instant("hw", "sealed", args={"record": b"\xde\xad"})
+        (event,) = tracer.events
+        assert event.args_dict() == {"record": "dead"}
+
+    def test_containers_coerce_recursively(self):
+        tracer = Tracer()
+        tracer.instant("hw", "deep", args={
+            "mix": [b"\x01", (2, None), {"k": b"\x02"}]})
+        (event,) = tracer.events
+        assert event.args_dict() == {
+            "mix": ["01", [2, None], {"k": "02"}]}
+
+    def test_primitives_pass_through_unchanged(self):
+        tracer = Tracer()
+        tracer.instant("hw", "plain", args={
+            "i": 3, "f": 1.5, "s": "x", "b": False, "n": None})
+        (event,) = tracer.events
+        assert event.args_dict() == {
+            "i": 3, "f": 1.5, "s": "x", "b": False, "n": None}
+
+    def test_coercion_is_deterministic_across_runs(self):
+        def run():
+            tracer = Tracer()
+            tracer.instant("hw", "weird", args={
+                "blob": b"\x10\x20", "t": (1, 2), "d": {"z": 1, "a": 2}})
+            from repro.trace import dumps_chrome_trace
+            return dumps_chrome_trace(tracer)
+
+        assert run() == run()

@@ -1,0 +1,200 @@
+"""veil-warp speedup harness: classic fleet vs. warp fleet, same cycles.
+
+Two complete fleet runs on the same :class:`ClusterConfig`:
+
+* **baseline** -- the classic in-process :func:`run_cluster` with every
+  ``VEIL_WARP`` fast path disabled (per-byte/per-element copy loops,
+  sector-at-a-time disk staging, sequential single-process fleet);
+* **warp** -- :func:`~repro.warp.run_warp` with the fast paths enabled
+  and replicas sharded across worker processes (inline on single-CPU
+  machines, where forking buys latency and no parallelism).
+
+Reported: wall-clock per mode (best of ``repeats``, GC paused during
+timing), the speedup ratio, the worker topology actually used, and the
+**cycle-parity checks** -- per-replica ledgers, front-end ledger, and
+makespan must be *identical* between modes, the fleet-scale version of
+veil-turbo's "an optimization, not a model change" invariant.  The
+parity booleans are hard CI gates; the speedup floor is configurable
+because wall-clock gains depend on available CPUs (a single-core runner
+only sees the bulk-copy gains, not the process parallelism).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from ..cluster.fleet import ClusterConfig, run_cluster
+from ..knobs import WARP_ENV
+
+#: Default fleet shape: the 8-replica cluster workload the performance
+#: docs quote, kept small enough for a CI smoke lap.
+WARP_REPLICAS = 8
+WARP_REQUESTS = 100
+
+
+@dataclass(frozen=True)
+class WarpBenchResult:
+    """One veil-warp comparison run (classic vs. warp)."""
+
+    classic_seconds: float
+    warp_seconds: float
+    classic_replica_cycles: dict
+    warp_replica_cycles: dict
+    classic_frontend_cycles: int
+    warp_frontend_cycles: int
+    classic_makespan: int
+    warp_makespan: int
+    replicas: int
+    requests: int
+    workers_used: int
+    cpu_count: int
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio classic / warp (higher is better)."""
+        return self.classic_seconds / self.warp_seconds
+
+    @property
+    def replica_cycles_equal(self) -> bool:
+        """Whether every replica ledger matched between modes."""
+        return self.classic_replica_cycles == self.warp_replica_cycles
+
+    @property
+    def frontend_cycles_equal(self) -> bool:
+        """Whether the front-end ledgers matched between modes."""
+        return self.classic_frontend_cycles == self.warp_frontend_cycles
+
+    @property
+    def makespan_equal(self) -> bool:
+        """Whether the schedule makespans matched between modes."""
+        return self.classic_makespan == self.warp_makespan
+
+    @property
+    def cycles_equal(self) -> bool:
+        """All parity checks at once (the hard CI gate)."""
+        return (self.replica_cycles_equal and self.frontend_cycles_equal
+                and self.makespan_equal)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable result (the ``BENCH_warp.json`` payload)."""
+        return {
+            "classic_seconds": self.classic_seconds,
+            "warp_seconds": self.warp_seconds,
+            "speedup": self.speedup,
+            "replica_cycles_equal": self.replica_cycles_equal,
+            "frontend_cycles_equal": self.frontend_cycles_equal,
+            "makespan_equal": self.makespan_equal,
+            "cycles_equal": self.cycles_equal,
+            "classic_replica_cycles": dict(sorted(
+                self.classic_replica_cycles.items())),
+            "warp_replica_cycles": dict(sorted(
+                self.warp_replica_cycles.items())),
+            "classic_frontend_cycles": self.classic_frontend_cycles,
+            "warp_frontend_cycles": self.warp_frontend_cycles,
+            "classic_makespan": self.classic_makespan,
+            "warp_makespan": self.warp_makespan,
+            "workload": {"replicas": self.replicas,
+                         "requests": self.requests,
+                         "repeats": self.repeats},
+            "topology": {"workers_used": self.workers_used,
+                         "cpu_count": self.cpu_count},
+        }
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time for ``fn`` (GC paused), plus the
+    last run's return value (identical across runs by determinism)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+        finally:
+            if was_enabled:
+                gc.enable()
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run_warp_bench(*, replicas: int = WARP_REPLICAS,
+                   requests: int = WARP_REQUESTS,
+                   workers: int | None = None,
+                   repeats: int = 2) -> WarpBenchResult:
+    """Run the classic-vs-warp comparison and return the result."""
+    from ..core.boot import module_signing_key
+    from ..hv.attestation import platform_signing_key
+    from ..warp import default_workers, run_warp
+    config = ClusterConfig(replicas=replicas, requests=requests)
+    # Warm the one-time key caches (RSA keygen) outside the timed laps
+    # so neither mode is charged for process-lifetime setup.
+    platform_signing_key()
+    module_signing_key()
+    saved = os.environ.get(WARP_ENV)
+    try:
+        os.environ[WARP_ENV] = "0"
+        classic_wall, classic = _timed(lambda: run_cluster(config),
+                                       repeats)
+        os.environ[WARP_ENV] = "1"
+        warp_wall, warp = _timed(
+            lambda: run_warp(config, workers=workers), repeats)
+    finally:
+        if saved is None:
+            os.environ.pop(WARP_ENV, None)
+        else:
+            os.environ[WARP_ENV] = saved
+    used = default_workers(replicas) if workers is None else \
+        max(0, min(workers, replicas))
+    return WarpBenchResult(
+        classic_seconds=classic_wall, warp_seconds=warp_wall,
+        classic_replica_cycles=classic.replica_cycles,
+        warp_replica_cycles=warp.replica_cycles,
+        classic_frontend_cycles=classic.frontend_cycles,
+        warp_frontend_cycles=warp.frontend_cycles,
+        classic_makespan=classic.makespan_cycles,
+        warp_makespan=warp.makespan_cycles,
+        replicas=replicas, requests=requests, workers_used=used,
+        cpu_count=os.cpu_count() or 1, repeats=repeats)
+
+
+def render_warp_bench(result: WarpBenchResult) -> str:
+    """Human-readable report of one comparison run."""
+    topology = (f"{result.workers_used} worker processes"
+                if result.workers_used else "inline (single CPU)")
+    lines = [
+        "veil-warp: process-parallel fleet + bulk-copy fast paths",
+        f"  workload: {result.replicas} replicas x {result.requests} "
+        f"requests (best of {result.repeats})",
+        f"  topology: {topology} on {result.cpu_count} CPUs",
+        f"  classic (VEIL_WARP=0): {result.classic_seconds * 1e3:8.2f} ms",
+        f"  warp    (VEIL_WARP=1): {result.warp_seconds * 1e3:8.2f} ms",
+        f"  speedup: {result.speedup:.2f}x",
+        f"  cycle parity: replicas "
+        f"{'OK' if result.replica_cycles_equal else 'VIOLATED'}, "
+        f"frontend "
+        f"{'OK' if result.frontend_cycles_equal else 'VIOLATED'}, "
+        f"makespan {'OK' if result.makespan_equal else 'VIOLATED'}",
+    ]
+    if result.cpu_count <= 1:
+        lines.append(
+            "  note: single-CPU host -- speedup reflects bulk-copy fast "
+            "paths only; the >=3x target needs multi-core parallel boot "
+            "and attestation")
+    return "\n".join(lines)
+
+
+def write_warp_json(result: WarpBenchResult, path: str) -> None:
+    """Write the ``BENCH_warp.json`` artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -31,10 +31,14 @@ if typing.TYPE_CHECKING:
     from ..hw.cycles import CycleLedger
 
 
+#: Shared encoder (veil-warp): identical bytes to ``json.dumps`` with
+#: the same options, without constructing an encoder per message.
+_WIRE_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
 def encode_message(payload: dict) -> bytes:
     """Serialize a fleet control/data message deterministically."""
-    return json.dumps(payload, sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
+    return _WIRE_ENCODER.encode(payload).encode("utf-8")
 
 
 def decode_message(wire: bytes) -> dict:

@@ -81,7 +81,10 @@ class VeilMon:
             "user_channel_recv": self._handle_user_channel_recv,
         }
         self.kernel: "Kernel | None" = None
-        self.dh = DhKeyPair()
+        # Seeded, not secrets-drawn: the public half rides in attestation
+        # replies over the chaos fabric, and replayed seeds must see
+        # byte-identical transcripts (monitor entropy is measured state).
+        self.dh = DhKeyPair.from_seed(b"veilmon")
         self.user_channel: SecureChannel | None = None
         self.request_count = 0
         self.initialized = False

@@ -33,6 +33,20 @@ class DhKeyPair:
             secrets.randbits(256) | 1)
         self.public = pow(GENERATOR, self.private, MODP_2048_P)
 
+    @classmethod
+    def from_seed(cls, *parts: bytes) -> "DhKeyPair":
+        """Key pair derived from stable identity, for *simulated* parties.
+
+        The byte-identical-replay contract (veil-chaos) forbids ambient
+        entropy anywhere the fabric transcript can see, and DH public
+        values travel inside attestation replies -- so the monitor and
+        the modeled relying party derive their pair from stable identity
+        rather than ``secrets``.  The default entropy path above remains
+        for anything standing in for a real external tenant.
+        """
+        blob = hashlib.sha256(b"veil-dh|" + b"|".join(parts)).digest()
+        return cls(private=int.from_bytes(blob, "big") | 1)
+
     def shared_key(self, peer_public: int) -> bytes:
         """Derive the 32-byte symmetric channel key."""
         if not 1 < peer_public < MODP_2048_P - 1:

@@ -237,6 +237,34 @@ class EnclaveRuntime:
         self._require_inside()
         return self.core.read(vaddr, length)
 
+    # veil-warp: the sanitizer's marshalling copies are gather+scatter
+    # pairs (enclave <-> staging).  These combined helpers make each
+    # pair one call with one inside-check; the two VCPU accesses -- and
+    # therefore every ledger charge -- are exactly those of the
+    # read-then-write pair they replace.
+
+    def stage_out(self, enclave_vaddr: int, staging_vaddr: int,
+                  length: int) -> None:
+        """Bulk-copy enclave bytes into the shared staging region."""
+        self._require_inside()
+        try:
+            data = self.core.read(enclave_vaddr, length)
+        except PageFault:
+            self._swap_in(enclave_vaddr)
+            data = self.core.read(enclave_vaddr, length)
+        self.core.write(staging_vaddr, data)
+
+    def stage_in(self, staging_vaddr: int, enclave_vaddr: int,
+                 length: int) -> None:
+        """Bulk-copy shared staging bytes back into the enclave."""
+        self._require_inside()
+        data = self.core.read(staging_vaddr, length)
+        try:
+            self.core.write(enclave_vaddr, data)
+        except PageFault:
+            self._swap_in(enclave_vaddr)
+            self.core.write(enclave_vaddr, data)
+
     # ------------------------------------------------------------------
     # Cost accounting helpers used by the sanitizer
     # ------------------------------------------------------------------

@@ -91,8 +91,7 @@ class SyscallSanitizer:
                 length = self._buffer_length(spec, index, args)
                 staging = runtime.staging_alloc(length)
                 if length:
-                    data = runtime.enclave_read(int(value), length)
-                    runtime.shared_write(staging, data)
+                    runtime.stage_out(int(value), staging, length)
                 out.proxy_args[index] = staging
                 out.bytes_out += length
             elif arg_spec.kind == ArgKind.BUF_OUT:
@@ -106,8 +105,7 @@ class SyscallSanitizer:
                 for vaddr, length in value:
                     staging = runtime.staging_alloc(length)
                     if length:
-                        data = runtime.enclave_read(int(vaddr), length)
-                        runtime.shared_write(staging, data)
+                        runtime.stage_out(int(vaddr), staging, length)
                     new_iov.append((staging, length))
                     out.bytes_out += length
                 out.proxy_args[index] = new_iov
@@ -132,8 +130,7 @@ class SyscallSanitizer:
             if copied is not None and len(marshalled.copy_back) == 1:
                 take = max(0, min(length, copied))
             if take:
-                data = runtime.shared_read(staging, take)
-                runtime.enclave_write(enclave_vaddr, data)
+                runtime.stage_in(staging, enclave_vaddr, take)
         if spec.returns_pointer and isinstance(result, int):
             if runtime.address_in_enclave(result):
                 self.iago_rejections += 1

@@ -97,7 +97,9 @@ class RemoteUser:
                  platform_public: RsaPublicKey):
         self.expected_measurement = expected_measurement
         self.platform_public = platform_public
-        self.dh = DhKeyPair()
+        # The modeled relying party lives inside the deterministic fleet
+        # transcript, so its DH pair derives from the policy it carries.
+        self.dh = DhKeyPair.from_seed(b"remote-user", expected_measurement)
 
     def verify(self, report: AttestationReport, *,
                require_vmpl: int = 0) -> None:

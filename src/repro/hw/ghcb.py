@@ -20,6 +20,11 @@ from .memory import PAGE_SIZE, PhysicalMemory, page_base
 #: Byte length prefix for serialized messages.
 _LEN_BYTES = 4
 
+#: Shared encoder (veil-warp): ``json.dumps(message, sort_keys=True)``
+#: constructs a fresh encoder per call; reusing one is byte-identical
+#: output on the GHCB hot path (every hypercall serializes twice).
+_ENCODER = json.JSONEncoder(sort_keys=True)
+
 
 class Ghcb:
     """Helper view over a shared physical page used as a GHCB."""
@@ -35,7 +40,7 @@ class Ghcb:
 
     def write_message(self, mem: PhysicalMemory, message: dict) -> None:
         """Serialize ``message`` into the GHCB page."""
-        blob = json.dumps(message, sort_keys=True).encode("utf-8")
+        blob = _ENCODER.encode(message).encode("utf-8")
         if len(blob) + _LEN_BYTES > PAGE_SIZE:
             raise SimulationError(
                 f"GHCB message of {len(blob)} bytes exceeds one page")

@@ -50,8 +50,32 @@ class FrameAllocator:
         return ppn
 
     def alloc_many(self, count: int, label: str = "") -> list[int]:
-        """Hand out ``count`` frames."""
-        return [self.alloc(label) for _ in range(count)]
+        """Hand out ``count`` frames.
+
+        veil-warp bulk path: splice the free-list tail and extend from
+        the high-water mark in two block operations.  The frame sequence
+        is exactly what ``count`` calls of :meth:`alloc` would return
+        (free list popped last-in-first-out, then fresh frames in
+        ascending order) -- pinned by a parity test.
+        """
+        if count <= 0:
+            return []
+        free = self._free
+        take = min(count, len(free))
+        ppns = free[len(free) - take:][::-1]
+        del free[len(free) - take:]
+        remaining = count - take
+        if remaining:
+            if self._next + remaining > self.num_pages:
+                # Roll back the splice so a failed bulk request leaves
+                # the allocator exactly as it found it.
+                free.extend(reversed(ppns))
+                raise MemoryError("out of physical frames")
+            fresh = range(self._next, self._next + remaining)
+            self._next += remaining
+            ppns.extend(fresh)
+        self._allocated.update(ppns)
+        return ppns
 
     def free(self, ppn: int) -> None:
         """Return a frame to the pool (double-free checked)."""

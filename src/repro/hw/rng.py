@@ -14,9 +14,13 @@ entropy is part of the measured launch state), and the chaos harness's
 ``SplitMix64`` is this generator re-exported (same constants, same
 stream, so pre-existing fault-schedule seeds replay unchanged).
 
-The ``crypto`` package intentionally does *not* use this: key
-generation wants real entropy (``secrets``), and the flow baseline
-(``FLOW_BASELINE.json``) carries the justified exceptions.
+The ``crypto`` package intentionally does *not* use this: its default
+key generation wants real entropy (``secrets``), and the flow baseline
+(``FLOW_BASELINE.json``) carries the justified exceptions.  Parties
+whose key material is *visible to the replayed transcript* -- the
+monitor's DH pair rides in attestation replies over the chaos fabric --
+derive their keys from stable identity instead
+(:meth:`repro.crypto.DhKeyPair.from_seed`).
 """
 
 from __future__ import annotations

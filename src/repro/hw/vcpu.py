@@ -338,41 +338,53 @@ class VirtualCpu:
             if buf is None:
                 return memory.page_bytes(ppn, offset, length)
             return bytes(memoryview(buf)[offset:offset + length])
+        # veil-warp: cross-page gather aggregates the per-page ledger
+        # charges into one call per category.  Totals are identical to
+        # per-page charging (integer addition commutes and nothing reads
+        # the clock mid-access); the ``finally`` flush keeps the
+        # partial-charge semantics of a faulting access exact too.
         out = bytearray(length)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = PAGE_SIZE - off
-            if chunk > length - pos:
-                chunk = length - pos
-            vpn = cur >> PAGE_SHIFT
-            pte = entries.get(vpn)
-            if pte is None:
-                stats.misses += 1
-                pte = table.entry(vpn)
-                if pte is not None:
-                    entries[vpn] = pte
-            else:
-                stats.hits += 1
-            charge_walk(walk_cost)
-            if pte is None:
-                raise PageFault(vpn, "read")
-            if not (user_ok or pte.user):
-                raise PageFault(vpn, "supervisor-only")
-            ppn = pte.ppn
-            key = (ppn << 6) | vmpl_bits | _READ_BIT
-            if key in allow:
-                stats.rmp_hits += 1
-            else:
-                self._rmp_fill(ppn, vmpl_bits >> 4, Access.READ, key)
-            charge_copy(chunk * copy_x1000 // 1000)
-            buf = pages.get(ppn)
-            if buf is None:
-                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
-            else:
-                out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
-            pos += chunk
+        walk_acc = 0
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = PAGE_SIZE - off
+                if chunk > length - pos:
+                    chunk = length - pos
+                vpn = cur >> PAGE_SHIFT
+                pte = entries.get(vpn)
+                if pte is None:
+                    stats.misses += 1
+                    pte = table.entry(vpn)
+                    if pte is not None:
+                        entries[vpn] = pte
+                else:
+                    stats.hits += 1
+                walk_acc += walk_cost
+                if pte is None:
+                    raise PageFault(vpn, "read")
+                if not (user_ok or pte.user):
+                    raise PageFault(vpn, "supervisor-only")
+                ppn = pte.ppn
+                key = (ppn << 6) | vmpl_bits | _READ_BIT
+                if key in allow:
+                    stats.rmp_hits += 1
+                else:
+                    self._rmp_fill(ppn, vmpl_bits >> 4, Access.READ, key)
+                copy_acc += chunk * copy_x1000 // 1000
+                buf = pages.get(ppn)
+                if buf is None:
+                    out[pos:pos + chunk] = memory.page_bytes(ppn, off,
+                                                             chunk)
+                else:
+                    out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
+                pos += chunk
+        finally:
+            charge_walk(walk_acc)
+            charge_copy(copy_acc)
         return bytes(out)
 
     def _read_slow(self, vaddr: int, length: int) -> bytes:
@@ -390,17 +402,22 @@ class VirtualCpu:
             self._rmp_check_page(ppn, Access.READ)
             self._h_copy.charge(length * self._copy_x1000 // 1000)
             return memory.page_bytes(ppn, offset, length)
+        # veil-warp: aggregate the per-page copy charges (see `read`).
         out = bytearray(length)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = min(length - pos, PAGE_SIZE - off)
-            ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, False)
-            self._rmp_check_page(ppn, Access.READ)
-            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
-            out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
-            pos += chunk
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = min(length - pos, PAGE_SIZE - off)
+                ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, False)
+                self._rmp_check_page(ppn, Access.READ)
+                copy_acc += chunk * self._copy_x1000 // 1000
+                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+                pos += chunk
+        finally:
+            self._h_copy.charge(copy_acc)
         return bytes(out)
 
     def write(self, vaddr: int, data: bytes) -> None:
@@ -466,43 +483,51 @@ class VirtualCpu:
             else:
                 buf[offset:offset + length] = data
             return
+        # veil-warp: cross-page scatter with aggregated charges (see
+        # `read` for the parity argument).
         src = memoryview(data)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = PAGE_SIZE - off
-            if chunk > length - pos:
-                chunk = length - pos
-            vpn = cur >> PAGE_SHIFT
-            pte = entries.get(vpn)
-            if pte is None:
-                stats.misses += 1
-                pte = table.entry(vpn)
-                if pte is not None:
-                    entries[vpn] = pte
-            else:
-                stats.hits += 1
-            charge_walk(walk_cost)
-            if pte is None:
-                raise PageFault(vpn, "write")
-            if not pte.writable:
-                raise PageFault(vpn, "write-protected")
-            if not (user_ok or pte.user):
-                raise PageFault(vpn, "supervisor-only")
-            ppn = pte.ppn
-            key = (ppn << 6) | vmpl_bits | _WRITE_BIT
-            if key in allow:
-                stats.rmp_hits += 1
-            else:
-                self._rmp_fill(ppn, vmpl_bits >> 4, Access.WRITE, key)
-            charge_copy(chunk * copy_x1000 // 1000)
-            buf = pages.get(ppn)
-            if buf is None:
-                memory.page_write(ppn, off, src[pos:pos + chunk])
-            else:
-                buf[off:off + chunk] = src[pos:pos + chunk]
-            pos += chunk
+        walk_acc = 0
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = PAGE_SIZE - off
+                if chunk > length - pos:
+                    chunk = length - pos
+                vpn = cur >> PAGE_SHIFT
+                pte = entries.get(vpn)
+                if pte is None:
+                    stats.misses += 1
+                    pte = table.entry(vpn)
+                    if pte is not None:
+                        entries[vpn] = pte
+                else:
+                    stats.hits += 1
+                walk_acc += walk_cost
+                if pte is None:
+                    raise PageFault(vpn, "write")
+                if not pte.writable:
+                    raise PageFault(vpn, "write-protected")
+                if not (user_ok or pte.user):
+                    raise PageFault(vpn, "supervisor-only")
+                ppn = pte.ppn
+                key = (ppn << 6) | vmpl_bits | _WRITE_BIT
+                if key in allow:
+                    stats.rmp_hits += 1
+                else:
+                    self._rmp_fill(ppn, vmpl_bits >> 4, Access.WRITE, key)
+                copy_acc += chunk * copy_x1000 // 1000
+                buf = pages.get(ppn)
+                if buf is None:
+                    memory.page_write(ppn, off, src[pos:pos + chunk])
+                else:
+                    buf[off:off + chunk] = src[pos:pos + chunk]
+                pos += chunk
+        finally:
+            charge_walk(walk_acc)
+            charge_copy(copy_acc)
 
     def _write_slow(self, vaddr: int, data: bytes) -> None:
         """Uncached / edge-case write path (seed-identical semantics)."""
@@ -519,17 +544,22 @@ class VirtualCpu:
             self._h_copy.charge(length * self._copy_x1000 // 1000)
             memory.page_write(ppn, offset, data)
             return
+        # veil-warp: aggregate the per-page copy charges (see `read`).
         view = memoryview(data)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = min(length - pos, PAGE_SIZE - off)
-            ppn = self._translate_vpn(cur >> PAGE_SHIFT, True, False)
-            self._rmp_check_page(ppn, Access.WRITE)
-            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
-            memory.page_write(ppn, off, view[pos:pos + chunk])
-            pos += chunk
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = min(length - pos, PAGE_SIZE - off)
+                ppn = self._translate_vpn(cur >> PAGE_SHIFT, True, False)
+                self._rmp_check_page(ppn, Access.WRITE)
+                copy_acc += chunk * self._copy_x1000 // 1000
+                memory.page_write(ppn, off, view[pos:pos + chunk])
+                pos += chunk
+        finally:
+            self._h_copy.charge(copy_acc)
 
     def fetch(self, vaddr: int, length: int = 16) -> bytes:
         """Instruction fetch: checks UEXEC/SEXEC per current CPL."""
@@ -589,43 +619,52 @@ class VirtualCpu:
             if buf is None:
                 return memory.page_bytes(ppn, offset, length)
             return bytes(memoryview(buf)[offset:offset + length])
+        # veil-warp: cross-page fetch with aggregated charges (see
+        # `read` for the parity argument).
         out = bytearray(length)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = PAGE_SIZE - off
-            if chunk > length - pos:
-                chunk = length - pos
-            vpn = cur >> PAGE_SHIFT
-            pte = entries.get(vpn)
-            if pte is None:
-                stats.misses += 1
-                pte = table.entry(vpn)
-                if pte is not None:
-                    entries[vpn] = pte
-            else:
-                stats.hits += 1
-            charge_walk(walk_cost)
-            if pte is None:
-                raise PageFault(vpn, "execute")
-            if not supervisor and not pte.user:
-                raise PageFault(vpn, "supervisor-only")
-            if pte.nx:
-                raise PageFault(vpn, "nx")
-            ppn = pte.ppn
-            key = (ppn << 6) | vmpl_bits | access_bit
-            if key in allow:
-                stats.rmp_hits += 1
-            else:
-                self._rmp_fill(ppn, vmpl_bits >> 4, access, key)
-            charge_copy(chunk * copy_x1000 // 1000)
-            buf = pages.get(ppn)
-            if buf is None:
-                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
-            else:
-                out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
-            pos += chunk
+        walk_acc = 0
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = PAGE_SIZE - off
+                if chunk > length - pos:
+                    chunk = length - pos
+                vpn = cur >> PAGE_SHIFT
+                pte = entries.get(vpn)
+                if pte is None:
+                    stats.misses += 1
+                    pte = table.entry(vpn)
+                    if pte is not None:
+                        entries[vpn] = pte
+                else:
+                    stats.hits += 1
+                walk_acc += walk_cost
+                if pte is None:
+                    raise PageFault(vpn, "execute")
+                if not supervisor and not pte.user:
+                    raise PageFault(vpn, "supervisor-only")
+                if pte.nx:
+                    raise PageFault(vpn, "nx")
+                ppn = pte.ppn
+                key = (ppn << 6) | vmpl_bits | access_bit
+                if key in allow:
+                    stats.rmp_hits += 1
+                else:
+                    self._rmp_fill(ppn, vmpl_bits >> 4, access, key)
+                copy_acc += chunk * copy_x1000 // 1000
+                buf = pages.get(ppn)
+                if buf is None:
+                    out[pos:pos + chunk] = memory.page_bytes(ppn, off,
+                                                             chunk)
+                else:
+                    out[pos:pos + chunk] = memoryview(buf)[off:off + chunk]
+                pos += chunk
+        finally:
+            charge_walk(walk_acc)
+            charge_copy(copy_acc)
         return bytes(out)
 
     def _fetch_slow(self, vaddr: int, length: int) -> bytes:
@@ -644,17 +683,22 @@ class VirtualCpu:
             self._rmp_check_page(ppn, access)
             self._h_copy.charge(length * self._copy_x1000 // 1000)
             return memory.page_bytes(ppn, offset, length)
+        # veil-warp: aggregate the per-page copy charges (see `read`).
         out = bytearray(length)
         pos = 0
-        while pos < length:
-            cur = vaddr + pos
-            off = cur & _OFFSET_MASK
-            chunk = min(length - pos, PAGE_SIZE - off)
-            ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, True)
-            self._rmp_check_page(ppn, access)
-            self._h_copy.charge(chunk * self._copy_x1000 // 1000)
-            out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
-            pos += chunk
+        copy_acc = 0
+        try:
+            while pos < length:
+                cur = vaddr + pos
+                off = cur & _OFFSET_MASK
+                chunk = min(length - pos, PAGE_SIZE - off)
+                ppn = self._translate_vpn(cur >> PAGE_SHIFT, False, True)
+                self._rmp_check_page(ppn, access)
+                copy_acc += chunk * self._copy_x1000 // 1000
+                out[pos:pos + chunk] = memory.page_bytes(ppn, off, chunk)
+                pos += chunk
+        finally:
+            self._h_copy.charge(copy_acc)
         return bytes(out)
 
     # -- physical access (used only by VMPL-0 software, which owns all

@@ -185,11 +185,16 @@ class Kernel:
         payload = bytes(self._console_buffer)
         self._console_buffer.clear()
         # One GHCB page bounds each I/O request; flush in chunks.
+        # veil-warp: hex-encode the payload once and slice the string
+        # per chunk -- each hypercall carries byte-identical wire data
+        # to encoding chunk-by-chunk.
         chunk_size = 1536
+        payload_hex = payload.hex()
         for offset in range(0, len(payload), chunk_size):
-            chunk = payload[offset:offset + chunk_size]
-            self.hypercall_io(core, {"op": "io", "device": "console",
-                                     "data_hex": chunk.hex()})
+            self.hypercall_io(core, {
+                "op": "io", "device": "console",
+                "data_hex": payload_hex[2 * offset:
+                                        2 * (offset + chunk_size)]})
 
     def hypercall_io(self, core: "VirtualCpu", message: dict) -> dict:
         """Issue a GHCB-mediated I/O hypercall from kernel context."""

@@ -1,0 +1,25 @@
+"""Process-wide feature knobs read from the environment.
+
+veil-warp follows the veil-turbo precedent (``VEIL_TLB``): every fast
+path is parity-pinned against its slow twin, and one environment knob
+flips between them so the parity suites can assert byte-identical
+ledgers, traces, and outputs in both modes.
+
+This module sits below every other ``repro`` package (it imports only
+the standard library) so hardware, crypto, and kernel layers can all
+consult the knob without layering cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable gating the veil-warp fast paths (bulk copies +
+#: process-parallel fleet).  Unset or any value other than ``"0"`` means
+#: enabled; ``VEIL_WARP=0`` selects the historical per-unit paths.
+WARP_ENV = "VEIL_WARP"
+
+
+def warp_enabled() -> bool:
+    """True when the veil-warp fast paths are enabled (the default)."""
+    return os.environ.get(WARP_ENV, "1") != "0"

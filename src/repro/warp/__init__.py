@@ -1,0 +1,30 @@
+"""veil-warp: process-parallel fleet + bulk-copy fast paths.
+
+The warp subsystem runs the Veil fleet with replicas sharded across
+worker processes while keeping every cycle ledger, trace, and telemetry
+stream deterministic and -- for ledgers -- identical to the classic
+in-process :func:`~repro.cluster.fleet.run_cluster`.  See
+``docs/PERFORMANCE.md`` (veil-warp section) for the design and the
+parity contract, and :mod:`repro.knobs` for the ``VEIL_WARP`` switch
+gating the bulk-copy fast paths.
+"""
+
+from .fleet import ReplicaHandle, WarpFleet, default_workers, run_warp
+from .merge import (MergedTrace, merge_events, merge_registries,
+                    merge_tracers)
+from .shard import InlineShard, ProcessShard, ShardHost, ShardNet
+
+__all__ = [
+    "ReplicaHandle",
+    "WarpFleet",
+    "default_workers",
+    "run_warp",
+    "MergedTrace",
+    "merge_events",
+    "merge_registries",
+    "merge_tracers",
+    "InlineShard",
+    "ProcessShard",
+    "ShardHost",
+    "ShardNet",
+]

@@ -1,0 +1,442 @@
+"""Process-parallel fleet orchestration (the warp twin of ``run_cluster``).
+
+The parent process owns everything that must be globally ordered: the
+canonical fabric (every ``net`` charge, chaos verdict, scope hop, and
+fabric metric happens here), the front end, the auditor, and one
+**mirror ledger** per replica.  Workers own the expensive part -- the
+replica CVMs themselves -- and report per-pump compute deltas that the
+parent folds into the mirrors.  The charge flow is exact: a mirror
+accrues rx-net (canonical fabric, at send time), compute (worker delta),
+and tx-net (canonical fabric, when the parent replays the replica's
+outbound), which is precisely what the classic in-process replica ledger
+accrues.  Final per-host ledgers are therefore identical -- category for
+category -- to a classic :func:`~repro.cluster.fleet.run_cluster` run,
+across any worker count (a tested invariant).
+
+Parallelism comes from two phases:
+
+* **boot** -- each worker boots its shard of CVMs concurrently (boot
+  dominates cold fleet start);
+* **attestation** -- the handshake is run split-phase (stage 1 for
+  every replica, one batched pump, stage 2 for every replica, ...), so
+  replica-side report generation -- dominated by the 900k-cycle RSA
+  sign -- runs on every worker at once.
+
+The drive and audit phases run the *unmodified* ``FrontEnd`` /
+``FleetAuditor`` against :class:`ReplicaHandle` objects: the request
+path, retry/quarantine machinery, and chained-log verification are the
+same code as the classic fleet, which is what keeps warp inside the
+determinism contract instead of re-implementing it.
+"""
+
+from __future__ import annotations
+
+import os
+import typing
+
+from ..cluster.attest import AttestedLink, FleetVerifier, RejectedHandshake
+from ..cluster.auditor import FleetAuditor
+from ..cluster.fleet import ClusterConfig, ClusterResult, FleetClock
+from ..cluster.frontend import FrontEnd
+from ..cluster.net import InterHostNetwork
+from ..cluster.replica import expected_fleet_measurement
+from ..core import VeilConfig
+from ..core.boot import module_signing_key
+from ..errors import AttestationError
+from ..hv.attestation import platform_signing_key
+from ..hw.cycles import CycleLedger
+from ..scope.collector import NULL_SCOPE
+from ..trace.metrics import MetricsRegistry
+from ..trace.tracer import NULL_TRACER
+from .merge import MergedTrace, merge_tracers
+from .shard import InlineShard, ProcessShard
+
+if typing.TYPE_CHECKING:
+    from ..cluster.auditor import FleetAuditReport
+
+
+def default_workers(replicas: int) -> int:
+    """Worker count when the caller does not choose: one per CPU up to
+    one per replica, and 0 (inline, no fork) on single-CPU machines
+    where process hops cost latency and buy no parallelism."""
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return 0
+    return min(cpus, replicas)
+
+
+class ReplicaHandle:
+    """Parent-side stand-in for a worker-hosted replica.
+
+    Quacks like :class:`~repro.cluster.replica.ClusterReplica` exactly
+    as far as the front end, verifier, and auditor touch one: ``name``,
+    ``index``, ``alive``, ``net``, ``ledger`` (the mirror), ``tracer``,
+    and ``pump()``.  A pump forwards the parent-side inbox to the
+    worker, folds the returned compute delta into the mirror, and
+    replays the replica's outbound messages on the canonical fabric.
+    """
+
+    def __init__(self, index: int, net, mirror: CycleLedger, shard,
+                 tracer):
+        self.index = index
+        self.name = f"replica{index}"
+        self.net = net
+        self._mirror = mirror
+        self._shard = shard
+        self.tracer = tracer
+        #: Warp does not model replica crashes (the chaos runner drives
+        #: those in-process); the fabric-level faults all apply.
+        self.alive = True
+
+    @property
+    def ledger(self) -> CycleLedger:
+        return self._mirror
+
+    def drain_inbox(self) -> list:
+        """Pop every parent-side queued message bound for this replica."""
+        inbox = self.net.endpoint(self.name).inbox
+        messages = list(inbox)
+        inbox.clear()
+        return messages
+
+    def apply(self, report: dict) -> None:
+        """Fold one pump report: compute delta, then outbound replay.
+
+        Within a single pump the classic replica interleaves compute
+        and reply-tx per message; folding all compute first and then
+        replaying preserves the per-message order for single-message
+        pumps (the entire non-chaos protocol) and the charge *set*
+        always.
+        """
+        for category in sorted(report["delta"]):
+            self._mirror.charge(category, report["delta"][category])
+        for dst, wire in report["outbound"]:
+            self.net.send(self.name, dst, wire)
+
+    def pump(self) -> int:
+        """Synchronous pump round-trip (the drive/audit-phase path)."""
+        report = self._shard.pump({self.name: self.drain_inbox()})
+        payload = report[self.name]
+        self.apply(payload)
+        return len(payload["outbound"])
+
+
+class WarpFleet:
+    """A fleet with worker-hosted replicas and parent-side control."""
+
+    def __init__(self, config: ClusterConfig, *, workers: int | None = None,
+                 tracer=None, net: InterHostNetwork | None = None,
+                 scope=None):
+        from ..trace.tracer import default_tracer
+        self.config = config
+        if tracer is None:
+            tracer = default_tracer()
+        self.tracer = tracer or NULL_TRACER
+        self.scope = scope if scope is not None else NULL_SCOPE
+        self.net = net if net is not None else InterHostNetwork(
+            cost=config.net_cost, tracer=tracer)
+        if scope is not None:
+            self.net.scope = scope
+        # Deterministic forking: children must inherit the cached
+        # platform/module signing keys (and anything the reference
+        # measurement computation warms) so every worker boots CVMs
+        # byte-identical to an in-process boot.
+        platform_signing_key()
+        module_signing_key()
+        reference = expected_fleet_measurement(VeilConfig(
+            memory_bytes=config.memory_bytes,
+            num_cores=config.num_cores,
+            log_storage_pages=config.log_storage_pages))
+        if workers is None:
+            workers = default_workers(config.replicas)
+        self.workers_used = max(0, min(workers, config.replicas))
+        specs = [{
+            "index": index,
+            "workload": config.workload,
+            "shielded": config.shielded,
+            "memory_bytes": config.memory_bytes,
+            "num_cores": config.num_cores,
+            "log_storage_pages": config.log_storage_pages,
+            "tampered": index in config.tampered,
+            "trace": self.tracer is not NULL_TRACER,
+        } for index in range(config.replicas)]
+        if self.workers_used == 0:
+            shard_specs = [specs]
+            shard_type = InlineShard
+        else:
+            shard_specs = [specs[shard::self.workers_used]
+                           for shard in range(self.workers_used)]
+            shard_type = ProcessShard
+        # Spawn every shard before waiting on any: forked workers boot
+        # their CVMs concurrently (the parallel section of cold start).
+        self.shards = [shard_type(shard) for shard in shard_specs
+                       if shard]
+        self.handles: dict[str, ReplicaHandle] = {}
+        self._shard_of: dict[str, object] = {}
+        for shard, shard_spec in zip(self.shards, shard_specs):
+            for spec in shard_spec:
+                mirror = CycleLedger()
+                name = f"replica{spec['index']}"
+                self.net.attach(name, mirror)
+                handle = ReplicaHandle(spec["index"], self.net, mirror,
+                                       shard, self.tracer)
+                self.handles[name] = handle
+                self._shard_of[name] = shard
+        boot_reports = {}
+        for shard in self.shards:
+            boot_reports.update(shard.wait_ready())
+        for name in self._index_order(boot_reports):
+            self.handles[name].apply(boot_reports[name])
+        self.frontend = FrontEnd(self.net, policy=config.policy,
+                                 tracer=tracer)
+        self.frontend.scope = self.scope
+        self.auditor = FleetAuditor(self.net, tracer=tracer)
+        self.verifier = FleetVerifier(
+            expected_measurement=reference,
+            platform_public=platform_signing_key().public,
+            ledger=self.frontend.ledger, tracer=tracer)
+        self.links: dict[str, AttestedLink] = {}
+        self.rejected: list[RejectedHandshake] = []
+        self.frontend.reattest = self._reattest
+        clock = FleetClock([h.ledger for h in self.handles.values()])
+        clock.add(self.frontend.ledger)
+        clock.add(self.auditor.ledger)
+        self.clock = clock
+        self.tracer.attach_ledger(clock)
+        self.scope.attach_clock(clock)
+        self._collected: "dict | None" = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _index_order(self, names) -> list:
+        return sorted(names, key=lambda n: self.handles[n].index)
+
+    def _pump_all(self, names: list,
+                  fe_spent: "dict | None" = None) -> None:
+        """Batched pump: issue to every shard, then gather and apply.
+
+        The issue/gather split is the parallel section -- every worker
+        computes its shard's pumps at once.  Application (delta fold +
+        outbound replay) runs in replica index order so fabric charges
+        land deterministically regardless of sharding.  When
+        ``fe_spent`` is given, front-end rx cycles from each replica's
+        replay are attributed to that replica (handshake accounting).
+        """
+        by_shard: dict = {}
+        for name in self._index_order(names):
+            by_shard.setdefault(id(self._shard_of[name]), (
+                self._shard_of[name], {}))[1][name] = \
+                self.handles[name].drain_inbox()
+        ordered = [by_shard[key] for key in by_shard]
+        for shard, inbound in ordered:
+            shard.pump_send(inbound)
+        reports: dict = {}
+        for shard, _inbound in ordered:
+            reports.update(shard.pump_recv())
+        fe_ledger = self.frontend.ledger
+        for name in self._index_order(reports):
+            before = fe_ledger.total
+            self.handles[name].apply(reports[name])
+            if fe_spent is not None:
+                fe_spent[name] += fe_ledger.total - before
+
+    def _split_frontend_inbox(self) -> dict:
+        """Drain the front end's inbox into per-source buckets.
+
+        Batched pumps interleave every replica's replies in the front
+        end's inbox; the sequential handshake consumer expects only the
+        current replica's traffic, so stages re-feed one bucket at a
+        time.
+        """
+        inbox = self.net.endpoint(self.frontend.name).inbox
+        buckets: dict[str, list] = {}
+        while inbox:
+            src, wire = inbox.popleft()
+            buckets.setdefault(src, []).append((src, wire))
+        return buckets
+
+    def _reattest(self, name: str) -> AttestedLink:
+        """Front-end heal hook: classic sequential handshake against
+        the handle (re-attestation is rare; no batching needed)."""
+        link = self.verifier.establish(self.handles[name],
+                                       self.frontend.name)
+        self.links[name] = link
+        return link
+
+    # -- phases ----------------------------------------------------------
+
+    def attest_all(self) -> None:
+        """Split-phase handshake across the whole fleet.
+
+        Stage boundaries are fleet-wide: every replica's report is
+        generated in one batched pump (replica-side RSA signing runs on
+        all workers concurrently), then verified sequentially in index
+        order.  Charges per replica are the classic handshake's, and
+        ``handshake_cycles`` attributes front-end and mirror deltas
+        exactly as the sequential flow does.
+        """
+        fe = self.frontend
+        verifier = self.verifier
+        names = self._index_order(self.handles)
+        fe_spent = {name: 0 for name in names}
+        mirror_before = {name: self.handles[name].ledger.total
+                         for name in names}
+        spans: dict = {}
+        users: dict = {}
+        # Stage 1: demand a report from everyone.
+        for name in names:
+            span = self.tracer.span("cluster", "handshake",
+                                    args={"replica": name})
+            span.__enter__()
+            spans[name] = span
+            before = fe.ledger.total
+            users[name] = verifier.handshake_begin(self.net, fe.name,
+                                                   name)
+            fe_spent[name] += fe.ledger.total - before
+        self._pump_all(names, fe_spent)
+        # Stage 2: verify reports, send our DH public value.
+        buckets = self._split_frontend_inbox()
+        keys: dict = {}
+        reports: dict = {}
+        active: list = []
+        fe_inbox = self.net.endpoint(fe.name).inbox
+        for name in names:
+            fe_inbox.extend((src, wire)
+                            for src, wire in buckets.get(name, []))
+            before = fe.ledger.total
+            try:
+                reports[name], keys[name] = verifier.handshake_verify(
+                    self.net, fe.name, name, users[name], self.tracer)
+            except AttestationError as refused:
+                spans.pop(name).__exit__(None, None, None)
+                self.rejected.append(
+                    RejectedHandshake(replica=name, reason=str(refused)))
+            else:
+                fe_spent[name] += fe.ledger.total - before
+                active.append(name)
+            fe_inbox.clear()
+        if active:
+            self._pump_all(active, fe_spent)
+        # Stage 3: consume install acks, admit the verified.
+        buckets = self._split_frontend_inbox()
+        for name in active:
+            fe_inbox.extend((src, wire)
+                            for src, wire in buckets.get(name, []))
+            handshake_cycles = (fe_spent[name] +
+                                self.handles[name].ledger.total -
+                                mirror_before[name])
+            try:
+                link = verifier.handshake_complete(
+                    self.net, fe.name, name, reports[name], keys[name],
+                    handshake_cycles)
+            except AttestationError as refused:
+                spans.pop(name).__exit__(None, None, None)
+                self.rejected.append(
+                    RejectedHandshake(replica=name, reason=str(refused)))
+                fe_inbox.clear()
+                continue
+            fe_inbox.clear()
+            spans.pop(name).__exit__(None, None, None)
+            self.tracer.metrics.observe("handshake_cycles", name,
+                                        handshake_cycles)
+            self.tracer.metrics.count("handshake_ok", name)
+            self.links[name] = link
+            fe.admit(link, self.handles[name])
+
+    def drive(self, requests: int) -> int:
+        """Closed-loop client, identical to the classic fleet's."""
+        config = self.config
+        for i in range(requests):
+            key = f"key{i % config.keyspace}"
+            if config.workload == "memcached":
+                op = "set" if i % config.set_every == 0 else "get"
+                payload = {"op": op, "key": key}
+            else:
+                payload = {"op": "insert", "key": key}
+            self.frontend.request(payload)
+        return sum(self.frontend.routed.values())
+
+    def audit_all(self) -> "FleetAuditReport":
+        """Unmodified fleet audit sweep over the attested links."""
+        ordered = [self.links[n] for n in self._index_order(self.links)]
+        return self.auditor.sweep(ordered, self.handles)
+
+    # -- teardown / results ----------------------------------------------
+
+    def collect(self) -> dict:
+        """Gather final per-replica state (events, metrics, counters)."""
+        if self._collected is None:
+            collected: dict = {}
+            for shard in self.shards:
+                collected.update(shard.collect())
+            self._collected = collected
+        return self._collected
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        for shard in self.shards:
+            shard.close()
+        self.shards = []
+
+    def merged_trace(self) -> MergedTrace:
+        """Fleet-wide trace: replica streams + parent stream, totally
+        ordered independent of sharding (see :mod:`repro.warp.merge`)."""
+        collected = self.collect()
+        replica_tracers = [
+            MergedTrace(events=list(collected[name]["events"]),
+                        metrics=collected[name]["metrics"],
+                        recorded=collected[name]["recorded"],
+                        dropped=collected[name]["dropped"])
+            for name in self._index_order(collected)]
+        parent = self.tracer if self.tracer is not NULL_TRACER else \
+            MergedTrace([], MetricsRegistry(), 0, 0)
+        return merge_tracers(replica_tracers, parent)
+
+    def result(self, audit: "FleetAuditReport") -> ClusterResult:
+        """Assemble the run summary (classic shape, mirror-backed)."""
+        replica_cycles = {name: handle.ledger.total
+                          for name, handle in self.handles.items()}
+        for name, total in sorted(replica_cycles.items()):
+            self.tracer.metrics.observe("replica_total_cycles", name,
+                                        total)
+        self.tracer.metrics.observe("frontend_total_cycles", "frontend",
+                                    self.frontend.ledger.total)
+        return ClusterResult(
+            config=self.config,
+            requests_routed=sum(self.frontend.routed.values()),
+            routed_by_replica=dict(self.frontend.routed),
+            rejected=list(self.rejected),
+            makespan_cycles=self.frontend.makespan_cycles(),
+            throughput_rps=self.frontend.throughput_rps(),
+            handshake_cycles={name: link.handshake_cycles
+                              for name, link in self.links.items()},
+            replica_cycles=replica_cycles,
+            frontend_cycles=self.frontend.ledger.total,
+            audit=audit)
+
+
+def run_warp(config: ClusterConfig | None = None, *,
+             workers: int | None = None, tracer=None, net=None,
+             scope=None, keep_fleet: bool = False):
+    """Boot, attest, serve, and audit one warp fleet run.
+
+    Returns the :class:`~repro.cluster.fleet.ClusterResult`; with
+    ``keep_fleet=True`` returns ``(result, fleet)`` with the fleet's
+    workers already collected-from and shut down (for merged-trace and
+    scope inspection).
+    """
+    config = config or ClusterConfig()
+    fleet = WarpFleet(config, workers=workers, tracer=tracer, net=net,
+                      scope=scope)
+    try:
+        fleet.attest_all()
+        fleet.frontend.reset_schedule()
+        fleet.drive(config.requests)
+        audit = fleet.audit_all()
+        result = fleet.result(audit)
+        fleet.collect()
+    finally:
+        fleet.close()
+    if keep_fleet:
+        return result, fleet
+    return result

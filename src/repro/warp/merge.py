@@ -1,0 +1,99 @@
+"""Deterministic merge of per-host trace streams and metric registries.
+
+A warp run produces one tracer per replica (clocked on that replica's
+own compute ledger, so its event stream is a pure function of the
+message sequence the replica handled) plus the parent tracer (front
+end, auditor, fabric -- clocked on the fleet's virtual clock).  This
+module folds them into a single fleet view with a **total order** that
+does not depend on how replicas were sharded across workers:
+
+* events sort by ``(ts, host_rank, seq)`` -- virtual-clock timestamp
+  first, then the host's canonical rank (replica index order, parent
+  last), then the host-local sequence number; merged events are
+  re-sequenced so the output stream is self-consistent;
+* metric registries key-sum (counters) and distribution-merge
+  (histograms) in canonical host order.
+
+Because every per-host input is deterministic and the sort key is a
+pure function of host identity and host-local state, the merged trace
+and merged registry are byte-identical across worker counts -- the
+warp twin of the single-machine byte-identical-trace contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..trace.metrics import MetricsRegistry
+from ..trace.tracer import TraceEvent
+
+
+class MergedTrace:
+    """Tracer-shaped view over a merged fleet event stream.
+
+    Exposes exactly what :func:`repro.trace.export.chrome_trace` (and
+    :func:`~repro.trace.export.render_summary`) read from a live
+    tracer: ``events``, ``metrics``, ``recorded``, ``dropped``.
+    """
+
+    enabled = True
+
+    def __init__(self, events: list, metrics: MetricsRegistry,
+                 recorded: int, dropped: int):
+        self.events = events
+        self.metrics = metrics
+        self.recorded = recorded
+        self.dropped = dropped
+
+    def spans(self, category: str | None = None,
+              name: str | None = None) -> list:
+        """Merged spans, optionally filtered (mirrors ``Tracer.spans``)."""
+        from ..trace.tracer import PHASE_SPAN
+        return [e for e in self.events if e.phase == PHASE_SPAN and
+                (category is None or e.category == category) and
+                (name is None or e.name == name)]
+
+
+def merge_events(streams: "typing.Sequence[typing.Iterable[TraceEvent]]",
+                 ) -> list:
+    """Totally order per-host event streams into one fleet stream.
+
+    ``streams`` must already be in canonical host order (replica0..N-1,
+    parent last); the position in the sequence is the host rank used to
+    break timestamp ties.  Each host's own events keep their relative
+    order (``seq`` is the final tiebreak), and the merged events are
+    re-sequenced 1..n so consumers see one coherent stream.
+    """
+    keyed = []
+    for rank, stream in enumerate(streams):
+        for event in stream:
+            keyed.append((event.ts, rank, event.seq, event))
+    keyed.sort(key=lambda item: item[:3])
+    return [dataclasses.replace(event, seq=index + 1)
+            for index, (_ts, _rank, _seq, event) in enumerate(keyed)]
+
+
+def merge_registries(registries: "typing.Sequence[MetricsRegistry]",
+                     ) -> MetricsRegistry:
+    """Fold metric registries (canonical host order) into a fresh one."""
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged
+
+
+def merge_tracers(host_tracers: "typing.Sequence",
+                  parent_tracer) -> MergedTrace:
+    """Merge replica tracers (index order) and the parent tracer.
+
+    Accepts live :class:`~repro.trace.tracer.Tracer` objects or any
+    shim exposing ``events`` / ``metrics`` / ``recorded`` / ``dropped``
+    (the shape worker collection returns across the process boundary).
+    """
+    everyone = list(host_tracers) + [parent_tracer]
+    return MergedTrace(
+        events=merge_events([t.events for t in everyone]),
+        metrics=merge_registries([t.metrics for t in everyone]),
+        recorded=sum(t.recorded for t in everyone),
+        dropped=sum(t.dropped for t in everyone))

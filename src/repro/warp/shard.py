@@ -1,0 +1,285 @@
+"""Worker side of the process-parallel fleet.
+
+A warp worker hosts a shard of the fleet's :class:`ClusterReplica`
+CVMs.  The crucial invariant is **where cycles are charged**: the
+canonical fabric (and with it every ``net`` charge, every fabric
+metric, every scope hop, every chaos verdict) lives in the *parent*
+process against per-replica mirror ledgers.  Inside a worker, replicas
+are attached to a :class:`ShardNet` that charges **nothing** -- it only
+queues inbound messages the parent forwarded and captures the outbound
+messages a pump produced.  A worker replica's own ledger therefore
+accrues pure compute, and after every pump the worker ships the compute
+delta back so the parent can fold it into the mirror and replay the
+outbound messages on the canonical fabric.  The mirror ends up with
+exactly the classic ledger: rx-net + compute + tx-net, category for
+category.
+
+Workers communicate over a ``multiprocessing`` pipe with a five-verb
+protocol (``boot`` happens implicitly at spawn): ``pump``, ``collect``,
+``exit``.  :class:`InlineShard` is the in-process twin -- the same
+:class:`ShardHost` without a process boundary -- used when only one CPU
+is available and by the parity tests as the reference execution.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from ..hw.cycles import CycleLedger
+
+if typing.TYPE_CHECKING:
+    from ..cluster.replica import ClusterReplica
+
+
+class ShardNet:
+    """A charge-free fabric stub for worker-hosted replicas.
+
+    Implements the :class:`~repro.cluster.net.InterHostNetwork` surface
+    a :class:`ClusterReplica` touches -- ``attach`` / ``endpoint`` /
+    ``send`` / ``recv`` / ``pending`` -- but never charges a ledger:
+    the parent's canonical fabric already charged (or will charge) both
+    endpoints for every message that crosses it.  Outbound messages are
+    captured per source for the parent to replay.
+    """
+
+    class _Endpoint:
+        __slots__ = ("name", "ledger", "inbox")
+
+        def __init__(self, name: str, ledger):
+            self.name = name
+            self.ledger = ledger
+            self.inbox: deque = deque()
+
+    def __init__(self):
+        self._endpoints: dict[str, ShardNet._Endpoint] = {}
+        #: Captured outbound messages per source replica, in send order.
+        self.outbound: dict[str, list] = {}
+
+    def attach(self, name: str, ledger) -> "ShardNet._Endpoint":
+        """Register a local replica endpoint (ledger never charged)."""
+        endpoint = ShardNet._Endpoint(name, ledger)
+        self._endpoints[name] = endpoint
+        self.outbound[name] = []
+        return endpoint
+
+    def endpoint(self, name: str) -> "ShardNet._Endpoint":
+        """The endpoint registered under ``name``."""
+        return self._endpoints[name]
+
+    def deliver(self, dst: str, src: str, payload: bytes) -> None:
+        """Queue a parent-forwarded message for a local replica."""
+        self._endpoints[dst].inbox.append((src, payload))
+
+    def send(self, src: str, dst: str, payload: bytes) -> None:
+        """Capture an outbound message (no charge; parent replays it)."""
+        self.outbound[src].append((dst, bytes(payload)))
+
+    def recv(self, dst: str) -> tuple:
+        """Pop the oldest queued ``(src, payload)`` for ``dst``."""
+        return self._endpoints[dst].inbox.popleft()
+
+    def pending(self, dst: str) -> int:
+        """Messages queued for ``dst``."""
+        return len(self._endpoints[dst].inbox)
+
+    def take_outbound(self, src: str) -> list:
+        """Pop-and-return everything ``src`` sent since the last take."""
+        captured = self.outbound[src]
+        self.outbound[src] = []
+        return captured
+
+
+class ShardHost:
+    """Boots and drives one shard of replicas (runs inside a worker)."""
+
+    def __init__(self, specs: list):
+        from ..cluster.replica import ClusterReplica
+        from ..trace.tracer import Tracer
+        self.net = ShardNet()
+        self.replicas: dict[str, "ClusterReplica"] = {}
+        self.tracers: dict[str, "Tracer"] = {}
+        self._marks: dict[str, object] = {}
+        for spec in specs:
+            # One tracer per replica, clocked (by the machine it boots)
+            # on that replica's own compute-only ledger: its event
+            # stream is a pure function of the replica's message
+            # sequence, independent of sharding.  Untraced runs (the
+            # classic default) skip recording entirely so warp never
+            # pays observation costs the classic fleet would not.
+            tracer = Tracer() if spec.get("trace") else None
+            replica = ClusterReplica(
+                spec["index"], self.net, workload=spec["workload"],
+                shielded=spec["shielded"],
+                memory_bytes=spec["memory_bytes"],
+                num_cores=spec["num_cores"],
+                log_storage_pages=spec["log_storage_pages"],
+                tracer=tracer, tampered=spec["tampered"])
+            self.replicas[replica.name] = replica
+            if tracer is not None:
+                self.tracers[replica.name] = tracer
+            self._marks[replica.name] = CycleLedger().snapshot()
+
+    def _delta(self, name: str) -> dict:
+        """Compute delta (by category) since the last report, and mark."""
+        replica = self.replicas[name]
+        delta = replica.ledger.since(self._marks[name])
+        self._marks[name] = replica.ledger.snapshot()
+        return dict(delta.by_category)
+
+    def boot_report(self) -> dict:
+        """Per-replica boot-time compute for the parent's mirrors."""
+        return {name: {"delta": self._delta(name), "outbound": []}
+                for name in self.replicas}
+
+    def pump(self, inbound: dict) -> dict:
+        """Deliver forwarded messages and pump each named replica.
+
+        ``inbound`` maps replica name -> list of (src, wire) messages.
+        Replicas are pumped in index order regardless of dict order.
+        Returns per-replica ``{"delta": {...}, "outbound": [...]}``.
+        """
+        report = {}
+        for name in sorted(inbound, key=lambda n: self.replicas[n].index):
+            replica = self.replicas[name]
+            for src, wire in inbound[name]:
+                self.net.deliver(name, src, wire)
+            replica.pump()
+            report[name] = {"delta": self._delta(name),
+                            "outbound": self.net.take_outbound(name)}
+        return report
+
+    def collect(self) -> dict:
+        """Final per-replica state for the parent's result assembly."""
+        from ..trace.metrics import MetricsRegistry
+        out = {}
+        for name, replica in self.replicas.items():
+            tracer = self.tracers.get(name)
+            out[name] = {
+                "requests_served": replica.requests_served,
+                "log_entries": replica.log_entry_count(),
+                "crashes": replica.crashes,
+                "ledger_total": replica.ledger.total,
+                "events": list(tracer.events) if tracer else [],
+                "metrics": tracer.metrics if tracer
+                else MetricsRegistry(),
+                "recorded": tracer.recorded if tracer else 0,
+                "dropped": tracer.dropped if tracer else 0,
+            }
+        return out
+
+
+def _worker_main(conn, specs: list) -> None:
+    """Forked-child command loop: serve the parent until ``exit``."""
+    host = ShardHost(specs)
+    conn.send(("ready", host.boot_report()))
+    while True:
+        verb, payload = conn.recv()
+        if verb == "pump":
+            conn.send(("pumped", host.pump(payload)))
+        elif verb == "collect":
+            conn.send(("collected", host.collect()))
+        elif verb == "exit":
+            conn.close()
+            return
+        else:                                      # pragma: no cover
+            conn.send(("error", f"unknown verb {verb!r}"))
+
+
+class ProcessShard:
+    """Parent-side handle to one forked worker process.
+
+    ``fork`` start method only: children must inherit the parent's
+    warmed key caches (platform / module signing keys) so every worker
+    boots byte-identical CVMs.
+    """
+
+    def __init__(self, specs: list):
+        import multiprocessing
+        context = multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe()
+        self._proc = context.Process(
+            target=_worker_main, args=(child_conn, specs), daemon=True)
+        self._proc.start()
+        child_conn.close()
+        self._ready: "dict | None" = None
+
+    def wait_ready(self) -> dict:
+        """Block until the shard booted; returns the boot report."""
+        if self._ready is None:
+            verb, payload = self._conn.recv()
+            assert verb == "ready", verb
+            self._ready = payload
+        return self._ready
+
+    # Split request/response lets the fleet issue pumps to every worker
+    # first and gather afterwards -- that is the parallel section.
+
+    def pump_send(self, inbound: dict) -> None:
+        """Issue a pump request without waiting for the reply."""
+        self._conn.send(("pump", inbound))
+
+    def pump_recv(self) -> dict:
+        """Block for the pump report issued by :meth:`pump_send`."""
+        verb, payload = self._conn.recv()
+        assert verb == "pumped", verb
+        return payload
+
+    def pump(self, inbound: dict) -> dict:
+        """Synchronous pump round trip (send + receive)."""
+        self.pump_send(inbound)
+        return self.pump_recv()
+
+    def collect(self) -> dict:
+        """Fetch the shard's final per-replica state."""
+        self._conn.send(("collect", None))
+        verb, payload = self._conn.recv()
+        assert verb == "collected", verb
+        return payload
+
+    def close(self) -> None:
+        """Ask the worker to exit; terminate it if it lingers."""
+        try:
+            self._conn.send(("exit", None))
+        except (BrokenPipeError, OSError):        # pragma: no cover
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():                 # pragma: no cover
+            self._proc.terminate()
+
+
+class InlineShard:
+    """In-process twin of :class:`ProcessShard` (no fork, same protocol).
+
+    The zero-worker fallback for single-CPU machines, and the reference
+    execution the parity tests compare forked runs against.
+    """
+
+    def __init__(self, specs: list):
+        self._host = ShardHost(specs)
+        self._pending: "dict | None" = None
+
+    def wait_ready(self) -> dict:
+        """Boot already happened in-process; return its report."""
+        return self._host.boot_report()
+
+    def pump_send(self, inbound: dict) -> None:
+        """Run the pump now; stash the report for :meth:`pump_recv`."""
+        self._pending = self._host.pump(inbound)
+
+    def pump_recv(self) -> dict:
+        """Return the report stashed by :meth:`pump_send`."""
+        report, self._pending = self._pending, None
+        return report
+
+    def pump(self, inbound: dict) -> dict:
+        """Deliver + pump synchronously (no process boundary)."""
+        return self._host.pump(inbound)
+
+    def collect(self) -> dict:
+        """Final per-replica state straight from the host."""
+        return self._host.collect()
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+        pass

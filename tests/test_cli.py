@@ -13,8 +13,9 @@ class TestParser:
         assert set(sub.choices) == {"boot", "micro", "cs1", "fig4",
                                     "fig5", "fig6", "attacks", "ltp",
                                     "cluster", "chaos", "scope", "lint",
-                                    "flow", "trace", "turbo", "profile",
-                                    "export", "ablations", "all"}
+                                    "flow", "trace", "turbo", "warp",
+                                    "profile", "export", "ablations",
+                                    "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

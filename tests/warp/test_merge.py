@@ -1,0 +1,147 @@
+"""Unit tests for the deterministic trace/metrics merge layer."""
+
+import pytest
+
+from repro.trace.metrics import (CycleHistogram, LatencyHistogram,
+                                 MetricsRegistry)
+from repro.trace.tracer import Tracer
+from repro.warp.merge import (MergedTrace, merge_events,
+                              merge_registries, merge_tracers)
+
+
+class Clock:
+    """Settable ledger stand-in (tracers read ``.total``)."""
+
+    def __init__(self):
+        self.total = 0
+
+
+def traced(pairs):
+    """A tracer with one instant per (ts, name) pair."""
+    tracer, clock = Tracer(), Clock()
+    tracer.attach_ledger(clock)
+    for ts, name in pairs:
+        clock.total = ts
+        tracer.instant("test", name)
+    return tracer
+
+
+class TestMergeEvents:
+    def test_orders_by_timestamp_across_streams(self):
+        a = traced([(10, "a1"), (30, "a2")])
+        b = traced([(20, "b1"), (40, "b2")])
+        merged = merge_events([a.events, b.events])
+        assert [e.name for e in merged] == ["a1", "b1", "a2", "b2"]
+
+    def test_ties_break_by_host_rank_then_seq(self):
+        a = traced([(10, "a1"), (10, "a2")])
+        b = traced([(10, "b1")])
+        merged = merge_events([a.events, b.events])
+        assert [e.name for e in merged] == ["a1", "a2", "b1"]
+
+    def test_merged_stream_is_resequenced(self):
+        a = traced([(10, "a1"), (30, "a2")])
+        b = traced([(20, "b1")])
+        merged = merge_events([a.events, b.events])
+        assert [e.seq for e in merged] == [1, 2, 3]
+
+    def test_result_independent_of_interleaving(self):
+        pairs = [(5, "x"), (15, "y"), (25, "z")]
+        one_stream = merge_events([traced(pairs).events])
+        split = merge_events([traced(pairs[:2]).events,
+                              traced(pairs[2:]).events])
+        # Same total order by (ts, seq); names line up either way.
+        assert [e.name for e in one_stream] == ["x", "y", "z"]
+        assert [e.name for e in split] == ["x", "y", "z"]
+
+
+class TestHistogramMerge:
+    def test_cycle_merge_equals_replay(self):
+        first, second, replay = (CycleHistogram(), CycleHistogram(),
+                                 CycleHistogram())
+        for value in (100, 5000, 70):
+            first.observe(value)
+            replay.observe(value)
+        for value in (2, 900000):
+            second.observe(value)
+            replay.observe(value)
+        first.merge(second)
+        assert first.as_dict() == replay.as_dict()
+
+    def test_cycle_merge_with_empty_is_identity(self):
+        hist = CycleHistogram()
+        hist.observe(42)
+        before = hist.as_dict()
+        hist.merge(CycleHistogram())
+        assert hist.as_dict() == before
+
+    def test_latency_merge_equals_replay(self):
+        first, second, replay = (LatencyHistogram(), LatencyHistogram(),
+                                 LatencyHistogram())
+        for value in (300, 7000, 7000, 123456):
+            first.observe(value)
+            replay.observe(value)
+        for value in (1, 99, 10 ** 12):
+            second.observe(value)
+            replay.observe(value)
+        first.merge(second)
+        assert first.as_dict() == replay.as_dict()
+        assert first.percentiles() == replay.percentiles()
+
+    def test_latency_merge_rejects_mismatched_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_value=1000).merge(
+                LatencyHistogram(max_value=2000))
+
+
+class TestRegistryMerge:
+    def test_counters_histograms_and_latencies_fold(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.count("requests", "get", 3)
+        second.count("requests", "get", 2)
+        second.count("requests", "set")
+        first.observe("span", "boot", 1000)
+        second.observe("span", "boot", 3000)
+        second.observe("span", "audit", 50)
+        first.record_latency("latency", "get", 500)
+        second.record_latency("latency", "get", 700)
+        first.merge(second)
+        assert first.counter("requests", "get") == 5
+        assert first.counter("requests", "set") == 1
+        assert first.histogram("span", "boot").count == 2
+        assert first.histogram("span", "audit").count == 1
+        assert first.latency("latency", "get").count == 2
+
+    def test_merge_order_does_not_matter(self):
+        def build(counts):
+            registry = MetricsRegistry()
+            for key, n in counts:
+                registry.count("c", key, n)
+                registry.observe("h", key, n * 10)
+            return registry
+
+        ab = merge_registries([build([("x", 1)]), build([("x", 2),
+                                                         ("y", 3)])])
+        ba = merge_registries([build([("x", 2), ("y", 3)]),
+                               build([("x", 1)])])
+        assert ab.dump() == ba.dump()
+
+
+class TestMergeTracers:
+    def test_parent_ranks_last_and_totals_sum(self):
+        replica = traced([(10, "r1")])
+        parent = traced([(10, "p1")])
+        merged = merge_tracers([replica], parent)
+        assert isinstance(merged, MergedTrace)
+        assert [e.name for e in merged.events] == ["r1", "p1"]
+        assert merged.recorded == replica.recorded + parent.recorded
+        assert merged.dropped == 0
+
+    def test_spans_filter_matches_tracer_surface(self):
+        tracer, clock = Tracer(), Clock()
+        tracer.attach_ledger(clock)
+        with tracer.span("fleet", "boot"):
+            clock.total = 500
+        merged = merge_tracers([tracer], traced([]))
+        assert [s.name for s in merged.spans("fleet")] == ["boot"]
+        assert merged.spans("nope") == []

@@ -1,0 +1,94 @@
+"""Warp observability parity: traces, telemetry, and chaos runs.
+
+Traced and scoped warp runs must be *byte-identical across worker
+counts* -- the merged chrome trace, the merged metrics dump, and every
+FleetScope percentile.  (Traces are not compared against the classic
+fleet: warp clocks replica tracers on compute-only ledgers, so the
+streams are warp-internal artifacts; the classic-parity contract for
+*ledgers* lives in ``test_parity.py``.)
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.net import ChaoticNetwork
+from repro.chaos.plan import FaultPlan
+from repro.cluster import ClusterConfig
+from repro.scope.collector import FleetScope
+from repro.trace.export import dumps_chrome_trace, validate_chrome_trace
+from repro.trace.tracer import Tracer
+from repro.warp import run_warp
+
+CONFIG = ClusterConfig(replicas=3, requests=15, keyspace=4)
+
+
+def traced_run(workers):
+    result, fleet = run_warp(CONFIG, workers=workers, tracer=Tracer(),
+                             keep_fleet=True)
+    return result, fleet.merged_trace()
+
+
+class TestMergedTraceInvariance:
+    def test_merged_trace_identical_across_workers(self):
+        _result, inline = traced_run(workers=0)
+        _result, forked = traced_run(workers=2)
+        assert dumps_chrome_trace(inline) == dumps_chrome_trace(forked)
+
+    def test_merged_trace_is_valid_chrome_trace(self):
+        _result, merged = traced_run(workers=0)
+        trace = json.loads(dumps_chrome_trace(merged))
+        assert validate_chrome_trace(trace) == []
+        assert merged.recorded > 0 and merged.dropped == 0
+
+    def test_merged_metrics_identical_across_workers(self):
+        _result, inline = traced_run(workers=0)
+        _result, forked = traced_run(workers=2)
+        assert inline.metrics.dump() == forked.metrics.dump()
+
+
+class TestFleetScopeInvariance:
+    @staticmethod
+    def scoped_run(workers):
+        scope = FleetScope()
+        run_warp(CONFIG, workers=workers, scope=scope)
+        return scope
+
+    def test_percentiles_identical_across_workers(self):
+        inline = self.scoped_run(workers=0)
+        forked = self.scoped_run(workers=2)
+        for klass in ("get", "set"):
+            assert inline.percentiles(klass) == forked.percentiles(klass)
+
+    def test_request_records_identical_across_workers(self):
+        inline = self.scoped_run(workers=0)
+        forked = self.scoped_run(workers=2)
+        assert [r.as_dict() for r in inline.records] == \
+            [r.as_dict() for r in forked.records]
+        assert len(inline.completed()) == CONFIG.requests
+
+
+class TestChaosInvariance:
+    """Same FaultPlan seed => same run, no matter the sharding."""
+
+    @staticmethod
+    def chaotic_run(workers, profile="drops", seed=1234):
+        config = ClusterConfig(replicas=3, requests=20, keyspace=4)
+        net = ChaoticNetwork(FaultPlan(seed, profile),
+                             cost=config.net_cost)
+        return run_warp(config, workers=workers, net=net)
+
+    @pytest.mark.parametrize("profile", ["drops", "dup-reorder"])
+    def test_faulty_fabric_parity_across_workers(self, profile):
+        inline = self.chaotic_run(workers=0, profile=profile)
+        forked = self.chaotic_run(workers=2, profile=profile)
+        assert inline.replica_cycles == forked.replica_cycles
+        assert inline.frontend_cycles == forked.frontend_cycles
+        assert inline.makespan_cycles == forked.makespan_cycles
+        assert inline.routed_by_replica == forked.routed_by_replica
+        assert [(a.replica, a.chain_hex) for a in inline.audit.replicas] \
+            == [(a.replica, a.chain_hex) for a in forked.audit.replicas]
+
+    def test_chaos_still_serves_every_request(self):
+        result = self.chaotic_run(workers=0)
+        assert result.requests_routed == 20

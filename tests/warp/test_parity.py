@@ -1,0 +1,96 @@
+"""The veil-warp parity contract: same cycles, any worker count.
+
+A warp run must be *cycle-identical* to the classic in-process fleet --
+per-replica ledgers, front-end ledger, handshake costs, routing, audit
+chains, and makespan -- and *self-identical* across worker topologies
+(inline, one worker, several workers) and across the ``VEIL_WARP``
+bulk-copy knob.  These tests are the fleet-scale version of the
+veil-turbo invariant: warp is an optimization, not a model change.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.warp import default_workers, run_warp
+
+CONFIG = ClusterConfig(replicas=3, requests=15, keyspace=4)
+
+
+def fingerprint(result):
+    """What the *classic* parity contract pins: every cycle ledger,
+    the routing, and the audit outcome.  Audit chain bytes are absent
+    on purpose -- log records timestamp themselves with the replica's
+    local virtual clock, which warp clocks on the compute-only worker
+    ledger, so chains are pinned warp-internally (below) instead."""
+    return {
+        "routed": result.requests_routed,
+        "by_replica": result.routed_by_replica,
+        "handshake": result.handshake_cycles,
+        "replica_cycles": result.replica_cycles,
+        "frontend_cycles": result.frontend_cycles,
+        "makespan": result.makespan_cycles,
+        "audit": [(a.replica, len(a.entries), a.verified)
+                  for a in result.audit.replicas],
+    }
+
+
+def chains(result):
+    """The audit MAC chains -- warp-internal invariant."""
+    return [(a.replica, a.chain_hex) for a in result.audit.replicas]
+
+
+class TestClassicParity:
+    def test_warp_matches_classic_ledgers(self, monkeypatch):
+        monkeypatch.setenv("VEIL_WARP", "0")
+        classic = run_cluster(CONFIG)
+        monkeypatch.setenv("VEIL_WARP", "1")
+        warp = run_warp(CONFIG, workers=0)
+        assert fingerprint(warp) == fingerprint(classic)
+
+    def test_warp_matches_classic_with_rejections(self, monkeypatch):
+        config = ClusterConfig(replicas=3, requests=10, tampered=(1,))
+        monkeypatch.setenv("VEIL_WARP", "0")
+        classic = run_cluster(config)
+        monkeypatch.setenv("VEIL_WARP", "1")
+        warp = run_warp(config, workers=0)
+        assert fingerprint(warp) == fingerprint(classic)
+        assert [r.replica for r in warp.rejected] == \
+            [r.replica for r in classic.rejected]
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_forked_matches_inline(self, workers):
+        inline = run_warp(CONFIG, workers=0)
+        forked = run_warp(CONFIG, workers=workers)
+        assert fingerprint(forked) == fingerprint(inline)
+        assert chains(forked) == chains(inline)
+
+    def test_workers_capped_at_replica_count(self):
+        result = run_warp(CONFIG, workers=16)
+        assert fingerprint(result) == fingerprint(run_warp(CONFIG,
+                                                           workers=0))
+
+
+class TestKnobInvariance:
+    def test_bulk_copy_knob_does_not_change_cycles(self, monkeypatch):
+        monkeypatch.setenv("VEIL_WARP", "0")
+        slow = run_warp(CONFIG, workers=0)
+        monkeypatch.setenv("VEIL_WARP", "1")
+        fast = run_warp(CONFIG, workers=0)
+        assert fingerprint(fast) == fingerprint(slow)
+        assert chains(fast) == chains(slow)
+
+
+class TestDefaultWorkers:
+    def test_single_cpu_stays_inline(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert default_workers(8) == 0
+
+    def test_multi_cpu_caps_at_replicas(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 16)
+        assert default_workers(8) == 8
+
+    def test_multi_cpu_caps_at_cpus(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert default_workers(8) == 4

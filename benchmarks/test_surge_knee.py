@@ -1,0 +1,51 @@
+"""veil-surge: the throughput-vs-offered-load knee.
+
+Acceptance: below the knee (load 0.5) the fleet keeps up -- achieved
+throughput tracks offered load and queues stay shallow.  Past the knee
+(load 2.0) throughput saturates at fleet capacity while offered load
+keeps climbing, the backlog goes deep, and tail latency inflates.  The
+full sweep (three arrival shapes x five loads) lives in
+``python -m repro surge --knee``; this benchmark pins the two ends.
+"""
+
+from conftest import attach
+
+from repro.bench.surge import run_surge_bench, render_surge_bench
+
+
+def test_surge_knee_under_and_over_load(benchmark, emit):
+    def sweep():
+        return run_surge_bench(seed=1, replicas=2, requests=240,
+                               knee_requests=240, loads=(0.5, 2.0))
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_surge_bench(result))
+
+    points = {(p.arrivals, p.load): p for p in result.knee}
+    under = points[("poisson", 0.5)]
+    over = points[("poisson", 2.0)]
+
+    # Under the knee: the fleet keeps up with what is offered.
+    assert under.throughput_rps > under.offered_rps * 0.8
+    assert under.completed == 240
+    assert under.max_in_flight < over.max_in_flight
+
+    # Past the knee: throughput saturates, the backlog does not.
+    assert over.offered_rps > under.offered_rps * 3
+    assert over.throughput_rps < over.offered_rps * 0.75
+    assert over.peak_queue_depth > under.peak_queue_depth
+    assert over.latency["get"]["p99"] > 3 * under.latency["get"]["p99"]
+
+    # Saturation is capacity, not collapse: the overloaded fleet still
+    # clears at least as much traffic per second as the underloaded one.
+    assert over.throughput_rps >= under.throughput_rps * 0.9
+
+    # Same-seed replay of the flagship summary was byte-identical.
+    assert result.replay_ok
+
+    attach(benchmark,
+           flagship_max_in_flight=result.flagship["max_in_flight"],
+           under_rps=round(under.throughput_rps),
+           over_rps=round(over.throughput_rps),
+           over_p99_kc=round(over.latency["get"]["p99"] / 1000),
+           replay_ok=result.replay_ok)

@@ -20,6 +20,7 @@ Commands map one-to-one onto the paper's experiments:
 ``cluster``    boot a veil-fleet: N attested replicas behind a front end
 ``chaos``      torture a fleet with a seeded fault schedule (veil-chaos)
 ``scope``      fleet-wide distributed tracing + latency telemetry
+``surge``      open-loop load generation on the event scheduler
 ``all``        everything above (the full evaluation)
 =============  ========================================================
 """
@@ -357,6 +358,77 @@ def _cmd_scope(args) -> None:
         sys.exit(1)
 
 
+def _cmd_surge(args) -> None:
+    import json as _json
+    from .bench.surge import (render_surge_bench, run_surge_bench,
+                              smoke_summary, write_surge_json)
+    from .hw.cycles import CLOCK_HZ
+    from .surge import SurgeConfig, run_surge
+    if args.smoke:
+        summary = smoke_summary(seed=args.seed)
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return
+    if args.knee:
+        bench = run_surge_bench(seed=args.seed, replicas=args.replicas,
+                                requests=args.requests)
+        print(render_surge_bench(bench))
+        if args.json:
+            write_surge_json(bench, args.json)
+            print(f"wrote {args.json}")
+        if not bench.replay_ok:
+            print("FAIL: same-seed smoke runs produced different "
+                  "summaries")
+            sys.exit(1)
+        if args.min_inflight and \
+                bench.flagship["max_in_flight"] < args.min_inflight:
+            print(f"FAIL: flagship peak in-flight "
+                  f"{bench.flagship['max_in_flight']} is below the "
+                  f"--min-inflight floor {args.min_inflight}")
+            sys.exit(1)
+        return
+    result = run_surge(SurgeConfig(
+        seed=args.seed, arrivals=args.arrivals, replicas=args.replicas,
+        requests=args.requests, load=args.load, workload=args.workload,
+        policy=args.policy, admit_limit=args.admit_limit,
+        min_active=args.min_active))
+    cfg = result.config
+    print(f"veil-surge: {cfg.arrivals} arrivals, load {cfg.load}, "
+          f"{cfg.replicas} replicas x {cfg.concurrency} slots, seed "
+          f"{cfg.seed}")
+    print(f"  requests: {result.completed:,} completed, "
+          f"{result.shed:,} shed, {result.failed:,} failed of "
+          f"{result.requests:,} offered")
+    print(f"  concurrency: max {result.max_in_flight:,} in flight, "
+          f"peak queue depth {result.peak_queue_depth:,}")
+    if result.scale_events:
+        ups = sum(1 for e in result.scale_events if e[1] == "up")
+        print(f"  autoscaler: {ups} scale-ups, "
+              f"{len(result.scale_events) - ups} scale-downs, high "
+              f"water {result.active_high_water} active")
+    makespan_ms = result.makespan_cycles / CLOCK_HZ * 1000
+    print(f"  throughput: {result.throughput_rps:,.0f} req/s achieved "
+          f"vs {result.offered_rps:,.0f} req/s offered "
+          f"(makespan {makespan_ms:.2f} simulated ms)")
+    for klass in sorted(result.latency):
+        pct = result.latency[klass]
+        print(f"  {klass:<8} p50={pct['p50']:,} p95={pct['p95']:,} "
+              f"p99={pct['p99']:,} cycles")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(result.summary_dict(), fh, indent=2,
+                       sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.min_inflight and result.max_in_flight < args.min_inflight:
+        print(f"FAIL: peak in-flight {result.max_in_flight} is below "
+              f"the --min-inflight floor {args.min_inflight}")
+        sys.exit(1)
+
+
 def _cmd_ablations(args) -> None:
     from .bench.ablations import (render_ablations,
                                   run_batching_ablation,
@@ -587,6 +659,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --bench: write a BENCH_scope.json "
                             "artifact")
     scope.set_defaults(fn=_cmd_scope)
+
+    surge = sub.add_parser(
+        "surge", help="open-loop load generation (event scheduler)")
+    from .surge import ARRIVALS
+    surge.add_argument("--seed", type=int, default=1,
+                       help="arrival-plan seed (replayable)")
+    surge.add_argument("--arrivals", default="poisson",
+                       choices=sorted(ARRIVALS),
+                       help="arrival shape (traffic class)")
+    surge.add_argument("--replicas", type=int, default=8,
+                       help="fleet size (independent Veil CVMs)")
+    surge.add_argument("--requests", type=int, default=2000,
+                       help="open-loop arrivals to schedule")
+    surge.add_argument("--load", type=float, default=2.0,
+                       help="offered load as a multiple of estimated "
+                            "fleet capacity")
+    surge.add_argument("--workload", default="memcached",
+                       choices=("memcached", "sqlite"))
+    surge.add_argument("--policy", default="least-outstanding",
+                       choices=("round-robin", "least-outstanding",
+                                "consistent-hash"))
+    surge.add_argument("--admit-limit", type=int, default=0,
+                       help="in-flight admission cap (0 = unlimited)")
+    surge.add_argument("--min-active", type=int, default=0,
+                       help="warm-pool floor enabling the autoscaler "
+                            "(0 = all replicas active, no scaling)")
+    surge.add_argument("--json", default=None,
+                       help="write the run summary (or --knee bench) "
+                            "JSON here")
+    surge.add_argument("--min-inflight", type=int, default=0,
+                       help="exit non-zero unless peak in-flight "
+                            "reaches this floor")
+    surge.add_argument("--smoke", action="store_true",
+                       help="small fixed-size seeded run; prints the "
+                            "deterministic summary JSON (CI "
+                            "byte-compares two of these)")
+    surge.add_argument("--knee", action="store_true",
+                       help="sweep load factors per arrival class and "
+                            "write the BENCH_surge.json artifact")
+    surge.set_defaults(fn=_cmd_surge)
 
     export = sub.add_parser("export",
                             help="dump all results as JSON/CSV")

@@ -61,18 +61,43 @@ class FleetClock:
     Passed to :meth:`Tracer.attach_ledger` (anything with ``.total``
     qualifies) once all machines are booted, so one shared tracer gives
     a single coherent timeline across N CVMs plus the front-end hosts.
+
+    Monotonicity is a *contract*, not an accident of the ledgers: a
+    cold reboot rebuilds a replica's :class:`CycleLedger` from zero, and
+    naively re-summing after the swap would step the merged clock
+    backwards by everything the dead ledger had accrued -- handing the
+    tracer out-of-order timestamps.  The clock therefore keeps a
+    high-water mark: :meth:`replace` folds the outgoing sum into it
+    before swapping ledgers, and :attr:`total` never reports below it.
     """
 
     def __init__(self, ledgers: list):
         self._ledgers = list(ledgers)
+        self._high_water = 0
 
     def add(self, ledger) -> None:
         """Fold another host's ledger into the fleet timeline."""
         self._ledgers.append(ledger)
 
+    def replace(self, old, new) -> None:
+        """Swap a rebuilt host ledger in without stepping backwards.
+
+        The pre-swap sum is captured as the clock's floor, so the new
+        ledger's charges advance fleet time from where the old one
+        stopped instead of rewinding it to the fleet minus one host.
+        """
+        now = sum(ledger.total for ledger in self._ledgers)
+        if now > self._high_water:
+            self._high_water = now
+        self._ledgers = [new if ledger is old else ledger
+                         for ledger in self._ledgers]
+
     @property
     def total(self) -> int:
-        return sum(ledger.total for ledger in self._ledgers)
+        now = sum(ledger.total for ledger in self._ledgers)
+        if now > self._high_water:
+            self._high_water = now
+        return self._high_water
 
 
 @dataclass
@@ -173,6 +198,26 @@ class ClusterFleet:
         link = self.verifier.establish(replica, self.frontend.name)
         self.links[name] = link
         return link
+
+    def reboot_replica(self, name: str) -> None:
+        """Cold-restart ``name``: fresh CVM stack, fresh cycle ledger.
+
+        Unlike the warm :meth:`ClusterReplica.restart` (same machine
+        back up, ledger intact), a reboot rebuilds the whole stack, so
+        the replica's ledger restarts from zero.  The fleet clock is
+        told via :meth:`FleetClock.replace` so merged time stays
+        monotone across the swap; the replica stays unattested until
+        the front end's next heal sweep re-admits it.
+        """
+        replica = self.replicas[name]
+        old_ledger = replica.ledger
+        replica.reboot()
+        self.clock.replace(old_ledger, replica.ledger)
+        if self.tracer is not None:
+            # Booting the fresh CVM re-attached the shared tracer to the
+            # new machine's own (zeroed) ledger; put it back on fleet
+            # time or every timestamp after the reboot rewinds.
+            self.tracer.attach_ledger(self.clock)
 
     # -- phases ----------------------------------------------------------
 

@@ -248,6 +248,12 @@ class FrontEnd:
             return
         health.quarantined = True
         health.reason = reason
+        # Drop the replica's scheduling state with it: whatever horizon
+        # it had accrued is dead work now, and keeping it would skew
+        # least-outstanding routing against the replica for its entire
+        # first epoch back after re-admission (``admit`` re-seeds the
+        # horizon at the virtual now of the heal).
+        self.busy_until.pop(name, None)
         self.quarantines += 1
         self.tracer.instant("cluster", "replica_quarantined",
                             args={"replica": name, "reason": reason})
@@ -304,6 +310,36 @@ class FrontEnd:
 
     # -- request path ----------------------------------------------------
 
+    def allocate_request_id(self) -> int:
+        """Claim the next idempotent request id (one per logical request)."""
+        request_id = self._request_seq
+        self._request_seq += 1
+        return request_id
+
+    def open_loop_attempt(self, name: str, payload: dict,
+                          request_id: int, ctx: TraceContext
+                          ) -> "tuple[dict, int, dict] | None":
+        """One sealed round trip for an open-loop (surge) request.
+
+        The surge scheduler owns arrival time, queueing, and completion
+        on its event heap, so this path deliberately skips the
+        closed-loop machinery -- no ``busy_until`` horizon push, no
+        backoff charge, no retry loop.  Failure bookkeeping (strikes,
+        quarantine, scope retry records) still runs through
+        :meth:`_note_failure` inside :meth:`_attempt`, so chaos faults
+        degrade the candidate set identically in both loops.
+
+        Returns ``(result, service_cycles, breakdown)`` or ``None``.
+        """
+        body = dict(payload, request_id=request_id)
+        out = self._attempt(name, body, request_id, ctx)
+        if out is not None:
+            self.health[name].strikes = 0
+            self.routed[name] = self.routed.get(name, 0) + 1
+            self.tracer.metrics.count("cluster_route", name)
+            self.tracer.metrics.observe("service_cycles", name, out[1])
+        return out
+
     def request(self, payload: dict) -> dict:
         """Route one closed-loop request and return the replica's reply.
 
@@ -313,8 +349,7 @@ class FrontEnd:
         """
         if not self._links:
             raise SimulationError("no attested replicas admitted")
-        request_id = self._request_seq
-        self._request_seq += 1
+        request_id = self.allocate_request_id()
         # One trace context per logical request: trace_id is the
         # idempotent request id, span 0 is the root, each delivery
         # attempt is a child span.  Created unconditionally -- the

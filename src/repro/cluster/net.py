@@ -114,6 +114,18 @@ class InterHostNetwork:
         self._endpoints[name] = endpoint
         return endpoint
 
+    def rebind(self, name: str, ledger: "CycleLedger") -> None:
+        """Point an attached endpoint at a rebuilt host ledger.
+
+        A cold reboot (:meth:`ClusterReplica.reboot`) replaces the whole
+        machine behind a fabric slot; the endpoint survives but must
+        charge the *new* host's ledger.  The inbox clears with it -- a
+        rebooted machine does not replay its dead NIC's queue.
+        """
+        endpoint = self.endpoint(name)
+        endpoint.ledger = ledger
+        endpoint.inbox.clear()
+
     def endpoint(self, name: str) -> HostEndpoint:
         """Look up an attached endpoint."""
         try:

@@ -116,6 +116,8 @@ class ClusterReplica:
         #: pumps its inbox nor keeps volatile channel state.
         self.alive = True
         self.crashes = 0
+        #: Cold reboots (fresh system + ledger), distinct from crashes.
+        self.reboots = 0
         #: request_id -> served result, for idempotent re-execution of
         #: retried requests (bounded FIFO).
         self._completed: dict[int, dict] = {}
@@ -218,6 +220,32 @@ class ClusterReplica:
         self.tracer.instant("chaos", "replica_restart",
                             args={"replica": self.name})
         self.tracer.metrics.count("chaos_restart", self.name)
+
+    def reboot(self) -> None:
+        """Cold-restart: boot a fresh CVM image on this fabric slot.
+
+        Where :meth:`restart` brings the *same* machine back (ledger and
+        measured state intact), a reboot rebuilds the whole stack --
+        new machine, new launch measurement run, and crucially a new
+        :class:`CycleLedger` starting at zero.  Callers that merge this
+        ledger into a fleet timeline must swap it via
+        :meth:`FleetClock.replace` (``ClusterFleet.reboot_replica`` does)
+        or merged time would step backwards.  All volatile state dies:
+        data channel, idempotency cache, in-memory store, NIC queue.
+        The replica is up but unattested -- sealed traffic is refused
+        until a fresh relying-party handshake re-admits it.
+        """
+        self.reboots += 1
+        self.system = boot_veil_system(self.config)
+        self.system.integration.enable_protected_logging()
+        self.net.rebind(self.name, self.ledger)
+        self.data_channel = None
+        self._completed.clear()
+        self.alive = True
+        self._setup_service()
+        self.tracer.instant("chaos", "replica_reboot",
+                            args={"replica": self.name})
+        self.tracer.metrics.count("chaos_reboot", self.name)
 
     # -- fabric message pump --------------------------------------------
 

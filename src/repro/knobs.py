@@ -23,3 +23,15 @@ WARP_ENV = "VEIL_WARP"
 def warp_enabled() -> bool:
     """True when the veil-warp fast paths are enabled (the default)."""
     return os.environ.get(WARP_ENV, "1") != "0"
+
+
+#: Environment variable enabling the veil-surge event-heap invariant
+#: self-checks (O(n) per pop).  Off by default; the determinism suite
+#: turns it on so a broken heap fails loudly instead of reordering
+#: events silently.
+SURGE_CHECK_ENV = "VEIL_SURGE_CHECK"
+
+
+def surge_check_enabled() -> bool:
+    """True when event-heap invariant checks are enabled (off by default)."""
+    return os.environ.get(SURGE_CHECK_ENV, "0") != "0"

@@ -114,6 +114,11 @@ class FleetScope:
         self.faults: list[FaultEvent] = []
         #: trace_id -> in-flight record (insertion-ordered).
         self._open: dict[int, RequestRecord] = {}
+        #: Concurrency gauge: requests begun but not yet ended/failed.
+        #: Under the closed-loop driver this never exceeds 1; the surge
+        #: harness is what pushes it into the thousands.
+        self.in_flight = 0
+        self.max_in_flight = 0
         self._clock: typing.Callable[[], int] = lambda: 0
 
     # -- clock ------------------------------------------------------------
@@ -132,6 +137,9 @@ class FleetScope:
         """A logical request entered the front end."""
         self._open[ctx.trace_id] = RequestRecord(
             trace_id=ctx.trace_id, klass=klass, arrival=self.now())
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
 
     def retry(self, ctx: "TraceContext", replica: str,
               reason: str) -> None:
@@ -149,6 +157,7 @@ class FleetScope:
         record = self._open.pop(ctx.trace_id, None)
         if record is None:
             return
+        self.in_flight -= 1
         record.end = self.now()
         record.status = "ok"
         record.replica = replica
@@ -173,6 +182,7 @@ class FleetScope:
         record = self._open.pop(ctx.trace_id, None)
         if record is None:
             return
+        self.in_flight -= 1
         record.end = self.now()
         record.status = "failed"
         record.reason = reason
@@ -220,6 +230,8 @@ class NullScope:
     records: tuple = ()
     hops: tuple = ()
     faults: tuple = ()
+    in_flight = 0
+    max_in_flight = 0
 
     def attach_clock(self, clock) -> None:
         """No-op (scope disabled)."""

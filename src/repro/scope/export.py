@@ -128,6 +128,7 @@ def scope_snapshot(scope: "FleetScope") -> dict:
     """Deterministic JSON snapshot of everything the scope collected."""
     return {
         "requests": [record.as_dict() for record in scope.records],
+        "max_in_flight": scope.max_in_flight,
         "hops": len(scope.hops),
         "faults": [{"ts": f.ts, "kind": f.kind, "subject": f.subject,
                     "detail": f.detail} for f in scope.faults],

@@ -1,0 +1,20 @@
+"""veil-surge: open-loop traffic on a real discrete-event scheduler.
+
+Everything the closed-loop fleet lacked: seeded arrival plans
+(:mod:`~repro.surge.arrivals`), a deterministic event-heap scheduler
+(:mod:`~repro.surge.sched`), and the open-loop runner with admission
+control and least-outstanding autoscaling (:mod:`~repro.surge.runner`).
+"""
+
+from .arrivals import (ARRIVALS, Arrival, ArrivalPlan, ArrivalProfile,
+                       arrivals_by_name)
+from .runner import SurgeConfig, SurgeResult, SurgeRun, run_surge
+from .sched import (ARRIVAL, COMPLETION, CONTROL, DiscreteEventScheduler,
+                    Event, EventHeap)
+
+__all__ = [
+    "ARRIVAL", "ARRIVALS", "Arrival", "ArrivalPlan", "ArrivalProfile",
+    "COMPLETION", "CONTROL", "DiscreteEventScheduler", "Event",
+    "EventHeap", "SurgeConfig", "SurgeResult", "SurgeRun",
+    "arrivals_by_name", "run_surge",
+]

@@ -182,11 +182,18 @@ class LatencyHistogram:
                 rank = -int(-p * self.count // 100)
             rank = min(max(rank, 1), self.count)
         seen = 0
+        floor = min(self.min, self.max_value)
         for index in sorted(self.buckets):
             seen += self.buckets[index]
             if seen >= rank:
-                return self._value(index)
-        return self._value(max(self.buckets))          # pragma: no cover
+                # A bucket's reported value is its *floor*, which for a
+                # quantized sample can dip below the smallest value ever
+                # observed (e.g. a single 1001-cycle sample reports its
+                # 1000-cycle bucket floor).  Clamp into the observed
+                # range; ``min`` itself saturates at ``max_value`` so
+                # overflow samples still report the saturation point.
+                return max(self._value(index), floor)
+        return max(self._value(max(self.buckets)), floor)  # pragma: no cover
 
     def percentiles(self, points=(50, 95, 99)) -> dict:
         """``{"p50": ..., "p95": ..., "p99": ...}`` for ``points``."""

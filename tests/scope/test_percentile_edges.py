@@ -1,0 +1,108 @@
+"""Satellite regression: LatencyHistogram nearest-rank edge cases.
+
+Exact known-answer tests for the percentile corners the audit turned
+up: empty histograms, single samples (including quantized ones, which
+used to report their bucket *floor* -- below any value ever observed),
+small populations (p99 with fewer than 100 samples), the p0/p100
+extremes, and overflow saturation.
+"""
+
+from repro.trace.metrics import (LATENCY_SUB_BITS, LatencyHistogram)
+
+#: Values at or below this are recorded exactly (one value per bucket).
+EXACT_LIMIT = 1 << (LATENCY_SUB_BITS + 1)
+
+
+def filled(values, **kwargs) -> LatencyHistogram:
+    hist = LatencyHistogram(**kwargs)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestEmptyAndSingle:
+    def test_empty_histogram_reports_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) == 0
+        assert hist.percentiles() == {"p50": 0, "p95": 0, "p99": 0}
+        assert hist.mean == 0.0
+
+    def test_single_exact_sample_is_every_percentile(self):
+        hist = filled([7])
+        for p in (0, 1, 50, 99, 100):
+            assert hist.percentile(p) == 7
+
+    def test_single_quantized_sample_never_reports_below_itself(self):
+        """1001 quantizes into the [1000, 1002) bucket; the reported
+        bucket floor must clamp up to the observed minimum instead of
+        inventing a 1000-cycle latency nobody measured."""
+        assert 1001 > EXACT_LIMIT          # genuinely quantized
+        hist = filled([1001])
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == 1001
+
+    def test_quantized_pair_keeps_bucket_resolution(self):
+        """The clamp only guards the low edge: a larger quantized
+        sample still reports its own bucket floor, not the min."""
+        hist = filled([1001, 2002])
+        assert hist.percentile(50) == 1001
+        assert hist.percentile(100) == 2000    # 2002's bucket floor
+
+
+class TestNearestRankKnownAnswers:
+    def test_exact_region_1_to_100(self):
+        hist = filled(range(1, 101))
+        assert hist.percentile(1) == 1
+        assert hist.percentile(50) == 50
+        assert hist.percentile(95) == 95
+        assert hist.percentile(99) == 99
+        assert hist.percentile(100) == 100
+
+    def test_p99_with_fewer_than_100_samples(self):
+        """ceil(0.99 * 10) = 10: p99 of a small population is its max,
+        not an interpolated ghost below it."""
+        hist = filled(range(10, 101, 10))      # 10, 20, ..., 100
+        assert hist.count == 10
+        assert hist.percentile(99) == 100
+        assert hist.percentile(95) == 100      # ceil(9.5) = 10th
+        assert hist.percentile(50) == 50       # ceil(5.0) = 5th
+        assert hist.percentile(49) == 50       # ceil(4.9) = 5th too
+        assert hist.percentile(41) == 50       # ceil(4.1) = 5th too
+        assert hist.percentile(40) == 40       # ceil(4.0) = 4th
+
+    def test_fractional_p_uses_exact_ceiling(self):
+        hist = filled(range(1, 101))
+        assert hist.percentile(50.5) == 51     # ceil(50.5) = 51st
+        assert hist.percentile(0.1) == 1       # ceil(0.1) = 1st
+
+    def test_three_samples(self):
+        hist = filled([30, 10, 20])
+        assert hist.percentile(33) == 10       # ceil(0.99) = 1st
+        assert hist.percentile(34) == 20       # ceil(1.02) = 2nd
+        assert hist.percentile(66) == 20       # ceil(1.98) = 2nd
+        assert hist.percentile(67) == 30       # ceil(2.01) = 3rd
+        assert hist.percentile(100) == 30
+
+
+class TestExtremesAndOverflow:
+    def test_p0_and_below_report_the_minimum(self):
+        hist = filled([40, 10, 99])
+        assert hist.percentile(0) == 10
+        assert hist.percentile(-5) == 10
+
+    def test_p100_and_above_report_the_maximum(self):
+        hist = filled([40, 10, 99])
+        assert hist.percentile(100) == 99
+        assert hist.percentile(250) == 99
+
+    def test_overflow_saturates_at_max_value(self):
+        hist = filled([5_000], max_value=1_000)
+        assert hist.overflow == 1
+        assert hist.max == 5_000               # raw extreme kept
+        assert hist.percentile(50) == 1_000    # report saturates
+        assert hist.percentile(100) == 1_000
+
+    def test_overflow_mixes_with_real_samples(self):
+        hist = filled([10, 5_000], max_value=1_000)
+        assert hist.percentile(50) == 10
+        assert hist.percentile(100) == 1_000

@@ -1,0 +1,83 @@
+"""Satellite: the veil-surge determinism suite.
+
+Same seed => identical arrival schedule and identical ``(ts, rank,
+seq)`` pop order off the event heap, including simultaneous-event
+tie-breaking, across replica counts.  These are the two primitives the
+whole byte-identical-replay contract rests on (the end-to-end half
+lives in ``tests/trace/test_surge_parity.py``).
+"""
+
+from repro.surge.arrivals import ARRIVALS, ArrivalPlan
+from repro.surge.sched import (ARRIVAL, COMPLETION, CONTROL,
+                               DiscreteEventScheduler, EventHeap)
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        for name in ARRIVALS:
+            a = ArrivalPlan(11, name, requests=300).schedule()
+            b = ArrivalPlan(11, name, requests=300).schedule()
+            assert a == b, name       # Arrival is a frozen dataclass
+
+    def test_different_seed_different_schedule(self):
+        a = ArrivalPlan(1, "poisson", requests=50).schedule()
+        b = ArrivalPlan(2, "poisson", requests=50).schedule()
+        assert [x.ts for x in a] != [x.ts for x in b]
+
+    def test_seed_only_changes_timing_not_payloads(self):
+        """The request mix is positional; the seed draws only gaps."""
+        a = ArrivalPlan(1, "poisson", requests=60).schedule()
+        b = ArrivalPlan(2, "poisson", requests=60).schedule()
+        assert [x.payload for x in a] == [x.payload for x in b]
+
+
+def _interleaved_pop_order(replicas: int) -> list:
+    """Simulated per-replica event streams with deliberate collisions.
+
+    Every replica schedules completions/arrivals at the *same*
+    timestamps (heavy ties) -- the pop order must be a pure function of
+    (ts, rank, seq), whatever the replica count.
+    """
+    heap = EventHeap()
+    for ts in (100, 200, 200, 300):
+        for replica in range(replicas):
+            heap.push(ts, ARRIVAL, lambda: None)
+            heap.push(ts, COMPLETION, lambda: None)
+        heap.push(ts, CONTROL, lambda: None)
+    return [(e.ts, e.rank, e.seq) for e in
+            (heap.pop() for _ in range(len(heap)))]
+
+
+class TestHeapDeterminism:
+    def test_pop_order_replays_identically(self):
+        for replicas in (1, 2, 8):
+            assert _interleaved_pop_order(replicas) == \
+                _interleaved_pop_order(replicas)
+
+    def test_tie_break_is_rank_then_seq_at_every_instant(self):
+        for replicas in (1, 3, 8):
+            order = _interleaved_pop_order(replicas)
+            assert order == sorted(order)     # key IS the sort order
+            same_ts = [e for e in order if e[0] == 200]
+            ranks = [rank for _ts, rank, _seq in same_ts]
+            assert ranks == sorted(ranks)     # completions first
+            for rank in (COMPLETION, ARRIVAL, CONTROL):
+                seqs = [s for _t, r, s in same_ts if r == rank]
+                assert seqs == sorted(seqs)   # then push order
+
+    def test_scheduler_callback_order_replays(self):
+        def lap() -> list:
+            sched = DiscreteEventScheduler()
+            seen = []
+            for ts in (5, 5, 3, 3):
+                sched.at(ts, ARRIVAL,
+                         lambda ts=ts: seen.append((ts, sched.now)))
+            # A callback scheduling at its own instant stays ordered.
+            sched.at(3, COMPLETION,
+                     lambda: sched.at(3, CONTROL,
+                                      lambda: seen.append(("ctl", 3))))
+            sched.run()
+            return seen
+
+        assert lap() == lap()
+        assert lap()[0] == (3, 3) and lap()[-1] == (5, 5)

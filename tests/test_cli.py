@@ -14,8 +14,8 @@ class TestParser:
                                     "fig5", "fig6", "attacks", "ltp",
                                     "cluster", "chaos", "scope", "lint",
                                     "flow", "trace", "turbo", "warp",
-                                    "profile", "export", "ablations",
-                                    "all"}
+                                    "surge", "profile", "export",
+                                    "ablations", "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
